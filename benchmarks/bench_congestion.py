@@ -1,0 +1,74 @@
+"""ABL-C — congestion sweep (the paper's §6 future work).
+
+Scales the request-volume multiplier (the §5.3 "20–40 × machines" knob)
+and tracks how the best heuristic/criterion pair degrades relative to the
+bounds.  Expected shape: the networks become more oversubscribed
+(``possible_satisfy/upper_bound`` falls) and the satisfaction rate drops,
+while the fraction of the *achievable* value the heuristic captures stays
+high.
+"""
+
+from repro.experiments.congestion import congestion_sweep
+from repro.experiments.tables import render_table
+
+
+def _sweep_parameters(scale):
+    if scale.name == "ci":
+        return (4, 8, 16), 2
+    if scale.name == "full":
+        return (5, 10, 20, 30, 40), 5
+    return (20, 30, 40), 10  # paper scale
+
+
+def test_congestion_sweep(benchmark, scale, artifact_writer):
+    multipliers, cases = _sweep_parameters(scale)
+    points = benchmark.pedantic(
+        congestion_sweep,
+        args=(multipliers,),
+        kwargs={
+            "cases": cases,
+            "base_config": scale.config,
+            "heuristic": "full_one",
+            "criterion": "C4",
+            "weights": 2.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            str(point.requests_per_machine),
+            f"{point.mean_requests:.0f}",
+            f"{point.weighted_sum.mean:.1f}",
+            f"{point.satisfaction_rate.mean:.3f}",
+            f"{point.possible_fraction.mean:.3f}",
+            f"{point.achieved_fraction.mean:.3f}",
+        ]
+        for point in points
+    ]
+    text = render_table(
+        [
+            "req/machine",
+            "requests",
+            "weighted-sum",
+            "satisfy-rate",
+            "possible/upper",
+            "achieved/possible",
+        ],
+        rows,
+        title=(
+            f"ABL-C: congestion sweep, full_one/C4 @ log10(E-U)=2, "
+            f"{cases} cases per point"
+        ),
+    )
+    print("\n" + text)
+    artifact_writer("abl_congestion", text)
+
+    # More load → more raw weighted value but lower satisfaction rate.
+    assert (
+        points[-1].weighted_sum.mean >= points[0].weighted_sum.mean
+    )
+    assert (
+        points[-1].satisfaction_rate.mean
+        <= points[0].satisfaction_rate.mean + 0.05
+    )

@@ -1,0 +1,41 @@
+"""FIG2 — Figure 2: best criterion (C4) per heuristic versus the bounds.
+
+Regenerates the paper's Figure 2: the mean weighted priority sum of the
+three heuristics driven by their best criterion (C4) across the E-U ratio
+grid, against the two upper bounds (``upper_bound``, ``possible_satisfy``)
+and the two random lower-bound baselines (``random_Dijkstra``,
+``single_Dij_random``).
+
+Expected shape (paper): upper_bound > possible_satisfy > heuristics >
+random_Dijkstra > single_Dij_random, with the heuristics close to
+``possible_satisfy`` and well above the random baselines.
+"""
+
+from repro.experiments.figures import figure2
+from repro.experiments.tables import render_figure
+
+
+def test_figure2(benchmark, scale, scenarios, artifact_writer):
+    data = benchmark.pedantic(
+        figure2,
+        args=(scenarios, scale.log_ratios),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(data)
+    print("\n" + text)
+    artifact_writer("figure2", text)
+
+    upper = data.by_name("upper_bound").values()
+    possible = data.by_name("possible_satisfy").values()
+    single = data.by_name("single_Dij_random").values()
+    for name in ("partial/C4", "full_one/C4", "full_all/C4"):
+        series = data.by_name(name).values()
+        for u, p, value in zip(upper, possible, series):
+            assert value <= p <= u
+    # The loose random baseline must not beat the best heuristic point.
+    best_heuristic = max(
+        max(data.by_name(name).values())
+        for name in ("partial/C4", "full_one/C4", "full_all/C4")
+    )
+    assert single[0] <= best_heuristic

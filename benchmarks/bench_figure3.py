@@ -1,0 +1,37 @@
+"""FIG3 — Figure 3: the partial path heuristic under criteria C1–C4.
+
+Regenerates the paper's Figure 3: mean weighted priority sum of
+``partial`` with each of the four cost criteria across the E-U grid.
+Expected shape (paper): C4 best overall (at a good ratio), C3 a flat line
+close to C4's best, C1 weakest at priority-dominated ratios because it
+ignores multi-destination value.
+"""
+
+from repro.experiments.figures import heuristic_figure
+from repro.experiments.tables import render_figure
+
+
+def test_figure3_partial_path(benchmark, scale, scenarios, artifact_writer):
+    data = benchmark.pedantic(
+        heuristic_figure,
+        args=(scenarios, "partial", scale.log_ratios),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(data)
+    print("\n" + text)
+    artifact_writer("figure3", text)
+
+    assert [s.name for s in data.series] == [
+        "partial/C1",
+        "partial/C2",
+        "partial/C3",
+        "partial/C4",
+    ]
+    # C3 is E-U independent: a perfectly flat line.
+    assert len(set(data.by_name("partial/C3").values())) == 1
+    # C4's best point at least matches C1's best point; a 1% tolerance
+    # absorbs small-sample noise at the ci scale.
+    assert max(data.by_name("partial/C4").values()) >= 0.99 * max(
+        data.by_name("partial/C1").values()
+    )

@@ -1,0 +1,34 @@
+"""FIG4 — Figure 4: the full path/one destination heuristic under C1–C4.
+
+Regenerates the paper's Figure 4.  Expected shape (paper): as Figure 3,
+with C4 the best criterion; full_one/C4 is the paper's overall winner.
+"""
+
+from repro.experiments.figures import heuristic_figure
+from repro.experiments.tables import render_figure
+
+
+def test_figure4_full_path_one(benchmark, scale, scenarios, artifact_writer):
+    data = benchmark.pedantic(
+        heuristic_figure,
+        args=(scenarios, "full_one", scale.log_ratios),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(data)
+    print("\n" + text)
+    artifact_writer("figure4", text)
+
+    assert [s.name for s in data.series] == [
+        "full_one/C1",
+        "full_one/C2",
+        "full_one/C3",
+        "full_one/C4",
+    ]
+    assert len(set(data.by_name("full_one/C3").values())) == 1
+    # C4's best point at least matches C1's best point; a 1% tolerance
+    # absorbs small-sample noise at the ci scale (the paper averages 40
+    # cases on a full grid).
+    assert max(data.by_name("full_one/C4").values()) >= 0.99 * max(
+        data.by_name("full_one/C1").values()
+    )

@@ -1,0 +1,28 @@
+"""FIG5 — Figure 5: the full path/all destinations heuristic under C2–C4.
+
+Regenerates the paper's Figure 5 (C1 is excluded by design: it cannot
+express multi-destination value).  Expected shape (paper): results
+comparable to full path/one destination, with fewer Dijkstra executions.
+"""
+
+from repro.experiments.figures import heuristic_figure
+from repro.experiments.tables import render_figure
+
+
+def test_figure5_full_path_all(benchmark, scale, scenarios, artifact_writer):
+    data = benchmark.pedantic(
+        heuristic_figure,
+        args=(scenarios, "full_all", scale.log_ratios),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(data)
+    print("\n" + text)
+    artifact_writer("figure5", text)
+
+    assert [s.name for s in data.series] == [
+        "full_all/C2",
+        "full_all/C3",
+        "full_all/C4",
+    ]
+    assert len(set(data.by_name("full_all/C3").values())) == 1

@@ -1,0 +1,27 @@
+"""TAB-MM — per-case min/mean/max of the heuristics with C4.
+
+Regenerates the companion-TR detail the paper references in §5.4: "the
+minimum and maximum values for the performance of these heuristics over
+the 40 individual test cases with Cost4".
+"""
+
+from repro.experiments.figures import figure2
+from repro.experiments.tables import render_minmax
+
+
+def test_minmax_spread(benchmark, scale, scenarios, artifact_writer):
+    data = benchmark.pedantic(
+        figure2,
+        args=(scenarios, scale.log_ratios),
+        rounds=1,
+        iterations=1,
+    )
+    label = "2" if "2" in data.x_labels else data.x_labels[len(data.x_labels) // 2]
+    text = render_minmax(data, label)
+    print("\n" + text)
+    artifact_writer("tab_minmax", text)
+
+    for name in ("partial/C4", "full_one/C4", "full_all/C4"):
+        aggregate = data.by_name(name).point(label)
+        assert aggregate.minimum <= aggregate.mean <= aggregate.maximum
+        assert aggregate.count == scale.cases

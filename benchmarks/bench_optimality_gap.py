@@ -1,0 +1,90 @@
+"""ABL-O — optimality gap of the heuristics on tiny instances.
+
+The paper evaluates its heuristics only against bounds because true
+exhaustive search is intractable at §5.3 scale (§5.1).  On *tiny*
+instances the bounded exhaustive search (exact over the valid-step policy
+class) is affordable; this benchmark measures how much of the exact-best
+value each heuristic/criterion pair captures — quantifying the paper's
+"near-optimal" claim directly instead of via bounds.
+"""
+
+from repro.core.evaluation import evaluate_schedule
+from repro.exhaustive.search import ExhaustiveSearch, SearchLimits
+from repro.experiments.tables import render_table
+from repro.heuristics.registry import make_heuristic
+from repro.workload.config import GeneratorConfig
+from repro.workload.generator import ScenarioGenerator
+
+PAIRS = (
+    ("partial", "C4"),
+    ("full_one", "C4"),
+    ("full_all", "C4"),
+    ("full_one", "C3"),
+)
+
+
+def test_optimality_gap(benchmark, scale, artifact_writer):
+    cases = 6 if scale.name == "ci" else 15
+    config = GeneratorConfig(
+        machines=(4, 5),
+        out_degree=(1, 2),
+        requests_per_machine=(2, 3),
+        sources_per_item=(1, 1),
+        destinations_per_item=(1, 2),
+    )
+    scenarios = ScenarioGenerator(config).generate_suite(
+        cases, base_seed=4000
+    )
+
+    def study():
+        exact_values = []
+        complete_count = 0
+        captured = {pair: [] for pair in PAIRS}
+        for scenario in scenarios:
+            exact = ExhaustiveSearch(
+                SearchLimits(max_expansions=60_000, time_limit_seconds=20.0)
+            ).solve(scenario)
+            if not exact.complete or exact.weighted_sum == 0.0:
+                continue
+            complete_count += 1
+            exact_values.append(exact.weighted_sum)
+            for pair in PAIRS:
+                heuristic, criterion = pair
+                run = make_heuristic(heuristic, criterion, 2.0).run(scenario)
+                value = evaluate_schedule(
+                    scenario, run.schedule
+                ).weighted_sum
+                captured[pair].append(value / exact.weighted_sum)
+        return exact_values, complete_count, captured
+
+    exact_values, complete_count, captured = benchmark.pedantic(
+        study, rounds=1, iterations=1
+    )
+    rows = []
+    for pair in PAIRS:
+        ratios = captured[pair]
+        if not ratios:
+            continue
+        rows.append(
+            [
+                f"{pair[0]}/{pair[1]}",
+                f"{sum(ratios) / len(ratios):.4f}",
+                f"{min(ratios):.4f}",
+                f"{sum(1 for r in ratios if r >= 1.0 - 1e-9)}/{len(ratios)}",
+            ]
+        )
+    text = render_table(
+        ["pair", "mean captured", "worst captured", "exact-matched"],
+        rows,
+        title=(
+            f"ABL-O: fraction of exact-best value captured, "
+            f"{complete_count} complete tiny cases"
+        ),
+    )
+    print("\n" + text)
+    artifact_writer("abl_optimality_gap", text)
+
+    assert complete_count >= 3
+    for pair in PAIRS:
+        for ratio in captured[pair]:
+            assert ratio <= 1.0 + 1e-9  # exhaustive dominates by construction

@@ -1,0 +1,57 @@
+"""TAB-PT — §5.4 heuristic versus the simplified priority-tier scheduler.
+
+Regenerates the paper's prose comparison: a cost-guided scheme that
+schedules all high-priority requests before any medium, and all medium
+before any low, loses to the heuristic/criterion combinations on the
+weighted-priority measure.
+"""
+
+from repro.experiments.studies import priority_tier_comparison
+from repro.experiments.tables import render_table
+
+
+def test_priority_tier_comparison(benchmark, scale, scenarios, artifact_writer):
+    comparison = benchmark.pedantic(
+        priority_tier_comparison,
+        args=(scenarios,),
+        kwargs={"heuristic": "full_one", "criterion": "C4", "weights": 2.0},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            comparison.scheduler,
+            f"{comparison.heuristic_weighted_sum:.1f}",
+            f"{comparison.heuristic_satisfied_by_priority[2]:.2f}",
+            f"{comparison.heuristic_satisfied_by_priority[1]:.2f}",
+            f"{comparison.heuristic_satisfied_by_priority[0]:.2f}",
+        ],
+        [
+            "priority_tier",
+            f"{comparison.tier_weighted_sum:.1f}",
+            f"{comparison.tier_satisfied_by_priority[2]:.2f}",
+            f"{comparison.tier_satisfied_by_priority[1]:.2f}",
+            f"{comparison.tier_satisfied_by_priority[0]:.2f}",
+        ],
+    ]
+    text = render_table(
+        ["scheduler", "weighted-sum", "high", "medium", "low"],
+        rows,
+        title=(
+            f"TAB-PT: cost-driven vs tiered scheduling @ log10(E-U)=2, "
+            f"{comparison.cases} cases "
+            f"(wins={comparison.wins}, ties={comparison.ties})"
+        ),
+    )
+    print("\n" + text)
+    artifact_writer("tab_priority_tier", text)
+
+    # The paper's claim — the heuristic beats the tiered scheme — belongs
+    # to the §5.3 congestion regime (see benchmarks/paper_load_tier.py and
+    # EXPERIMENTS.md).  At lighter loads the two are nearly tied and the
+    # tier scheme can edge ahead by a fraction of a percent, so the scale-
+    # independent assertion is "comparable or better" within 1.5%.
+    assert (
+        comparison.heuristic_weighted_sum
+        >= 0.985 * comparison.tier_weighted_sum
+    )

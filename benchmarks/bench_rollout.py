@@ -1,0 +1,75 @@
+"""ABL-R — rollout (one-step lookahead) over the greedy heuristics.
+
+Quantifies the headroom the myopic cost criteria leave on the table: the
+rollout scheduler simulates each of the top-k candidate steps to
+completion with the greedy base heuristic and commits to the best — a
+sequential-improvement policy that never scores below its base.  The gap
+between rollout and base, and rollout's cost multiplier, are both
+reported.
+"""
+
+from repro.core.evaluation import evaluate_schedule
+from repro.experiments.aggregate import Aggregate
+from repro.experiments.tables import render_table
+from repro.heuristics.registry import make_heuristic
+from repro.heuristics.rollout import RolloutScheduler
+from repro.workload.config import GeneratorConfig
+from repro.workload.generator import ScenarioGenerator
+
+
+def test_rollout_improvement(benchmark, scale, artifact_writer):
+    cases = 4 if scale.name == "ci" else 8
+    config = GeneratorConfig(
+        machines=(6, 7),
+        out_degree=(2, 3),
+        requests_per_machine=(3, 5),
+    )
+    scenarios = ScenarioGenerator(config).generate_suite(
+        cases, base_seed=6000
+    )
+
+    def study():
+        base_values, rollout_values = [], []
+        base_seconds, rollout_seconds = [], []
+        for scenario in scenarios:
+            base = make_heuristic("full_one", "C4", 2.0).run(scenario)
+            base_values.append(
+                evaluate_schedule(scenario, base.schedule).weighted_sum
+            )
+            base_seconds.append(base.stats.elapsed_seconds)
+            rollout = RolloutScheduler(
+                "full_one", "C4", 2.0, beam_width=3
+            ).run(scenario)
+            rollout_values.append(
+                evaluate_schedule(scenario, rollout.schedule).weighted_sum
+            )
+            rollout_seconds.append(rollout.stats.elapsed_seconds)
+        return (
+            Aggregate.of(base_values),
+            Aggregate.of(rollout_values),
+            Aggregate.of(base_seconds),
+            Aggregate.of(rollout_seconds),
+        )
+
+    base, rollout, base_time, rollout_time = benchmark.pedantic(
+        study, rounds=1, iterations=1
+    )
+    multiplier = rollout_time.mean / max(base_time.mean, 1e-9)
+    text = render_table(
+        ["scheduler", "mean weighted sum", "mean seconds"],
+        [
+            ["full_one/C4 (greedy)", f"{base.mean:.1f}",
+             f"{base_time.mean:.3f}"],
+            ["rollout(full_one/C4, k=3)", f"{rollout.mean:.1f}",
+             f"{rollout_time.mean:.3f}"],
+        ],
+        title=(
+            f"ABL-R: rollout vs greedy, {cases} cases — lookahead costs "
+            f"{multiplier:.0f}x the time"
+        ),
+    )
+    print("\n" + text)
+    artifact_writer("abl_rollout", text)
+
+    # Sequential improvement: rollout never scores below its base.
+    assert rollout.mean >= base.mean - 1e-9

@@ -1,0 +1,53 @@
+"""TAB-RT — §5.4 execution time and links traversed, all eleven pairs.
+
+Regenerates the companion-TR table the paper references: per
+heuristic/criterion pair, the mean scheduling wall time, the mean number
+of Dijkstra executions, and the mean number of links traversed per
+satisfied request.
+
+Expected shape (paper): full_all needs the fewest Dijkstra executions,
+partial the most; links-traversed is small (a few hops) for all pairs.
+"""
+
+from repro.experiments.studies import runtime_study
+from repro.experiments.tables import render_table
+
+
+def test_runtime_and_links(benchmark, scale, scenarios, artifact_writer):
+    rows_data = benchmark.pedantic(
+        runtime_study,
+        args=(scenarios,),
+        kwargs={"weights": 2.0},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            row.scheduler,
+            f"{row.elapsed.mean:.3f}",
+            f"{row.dijkstra_runs.mean:.1f}",
+            f"{row.steps.mean:.1f}",
+            f"{row.average_hops.mean:.2f}",
+        ]
+        for row in rows_data
+    ]
+    text = render_table(
+        ["pair", "time-s", "dijkstra", "steps", "hops/delivery"],
+        rows,
+        title=(
+            f"TAB-RT: runtime and links traversed @ log10(E-U)=2, "
+            f"{scale.cases} cases"
+        ),
+    )
+    print("\n" + text)
+    artifact_writer("tab_runtime_links", text)
+
+    by_pair = {row.scheduler: row for row in rows_data}
+    # The paper's design intent: full_all needs no more Dijkstra runs than
+    # the other heuristics under the same criterion.
+    assert (
+        by_pair["full_all/C4"].dijkstra_runs.mean
+        <= by_pair["partial/C4"].dijkstra_runs.mean
+    )
+    for row in rows_data:
+        assert row.average_hops.mean >= 0.0

@@ -1,0 +1,55 @@
+"""ABL-W — extended priority-weighting sweep (the paper's §6 future work).
+
+Evaluates the best pair under five weighting families (flat, linear, the
+paper's two, and an extreme scheme) on identical cases.  Expected shape:
+steeper weightings satisfy a larger fraction of the highest-priority
+requests (the cross-weighting comparable metric).
+"""
+
+from repro.experiments.congestion import EXTENDED_WEIGHTINGS, weighting_sweep
+from repro.experiments.tables import render_table
+
+
+def test_weighting_sweep(benchmark, scale, artifact_writer):
+    cases = 3 if scale.name == "ci" else 10
+    points = benchmark.pedantic(
+        weighting_sweep,
+        kwargs={
+            "weightings": EXTENDED_WEIGHTINGS,
+            "cases": cases,
+            "base_config": scale.config,
+            "heuristic": "full_one",
+            "criterion": "C4",
+            "weights": 2.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            point.weighting,
+            f"{point.weighted_sum.mean:.1f}",
+            f"{point.satisfied_by_priority[2]:.2f}",
+            f"{point.satisfied_by_priority[1]:.2f}",
+            f"{point.satisfied_by_priority[0]:.2f}",
+            f"{point.high_priority_rate:.3f}",
+        ]
+        for point in points
+    ]
+    text = render_table(
+        ["weighting", "weighted-sum", "high", "medium", "low", "high-rate"],
+        rows,
+        title=(
+            f"ABL-W: weighting families, full_one/C4 @ log10(E-U)=2, "
+            f"{cases} cases"
+        ),
+    )
+    print("\n" + text)
+    artifact_writer("abl_weightings", text)
+
+    by_name = {point.weighting: point for point in points}
+    # The steepest scheme must serve highs at least as well as the flat one.
+    assert (
+        by_name["extreme"].high_priority_rate
+        >= by_name["flat"].high_priority_rate - 0.05
+    )

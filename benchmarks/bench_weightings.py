@@ -1,0 +1,57 @@
+"""TAB-W — §5.4 weighting-scheme comparison: (1,5,10) versus (1,10,100).
+
+Regenerates the paper's prose claim (full table in the companion TR):
+"the 1, 10, 100 weighting satisfies more higher priority requests and
+fewer medium and low priority requests than the 1, 5, 10 weighting".
+
+The same test cases (same seeds) are regenerated under each weighting and
+scheduled with the paper's best pair (full_one/C4).
+"""
+
+from repro.experiments.studies import weighting_comparison
+from repro.experiments.tables import render_table
+from repro.workload.generator import ScenarioGenerator
+
+
+def test_weighting_comparison(benchmark, scale, artifact_writer):
+    generator = ScenarioGenerator(scale.config)
+    seeds = list(
+        range(scale.base_seed, scale.base_seed + scale.cases)
+    )
+    outcomes = benchmark.pedantic(
+        weighting_comparison,
+        args=(generator, seeds),
+        kwargs={"heuristic": "full_one", "criterion": "C4", "weights": 2.0},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            outcome.weighting,
+            f"{outcome.mean_weighted_sum:.1f}",
+            f"{outcome.mean_satisfied_by_priority[2]:.2f}",
+            f"{outcome.mean_satisfied_by_priority[1]:.2f}",
+            f"{outcome.mean_satisfied_by_priority[0]:.2f}",
+            f"{sum(outcome.mean_total_by_priority):.0f}",
+        ]
+        for outcome in outcomes
+    ]
+    text = render_table(
+        ["weighting", "weighted-sum", "high", "medium", "low", "requests"],
+        rows,
+        title=(
+            "TAB-W: satisfied requests per priority class, full_one/C4 @ "
+            f"log10(E-U)=2, {scale.cases} cases"
+        ),
+    )
+    print("\n" + text)
+    artifact_writer("tab_weightings", text)
+
+    by_name = {outcome.weighting: outcome for outcome in outcomes}
+    light, heavy = by_name["1-5-10"], by_name["1-10-100"]
+    # Paper's claim: the steeper weighting never satisfies fewer
+    # high-priority requests.
+    assert (
+        heavy.mean_satisfied_by_priority[2]
+        >= light.mean_satisfied_by_priority[2]
+    )

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark honours the ``REPRO_SCALE`` environment variable (``ci`` |
+``full`` | ``paper``; see :mod:`repro.experiments.scale`), prints its
+reproduced figure/table to stdout (run pytest with ``-s`` to watch live),
+and writes the same text under ``benchmarks/results/<scale>/`` so
+EXPERIMENTS.md can reference the exact artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scale import current_scale
+from repro.workload.generator import ScenarioGenerator
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The active experiment scale (cases, generator config, E-U grid)."""
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def scenarios(scale):
+    """The shared test cases — the paper's "same 40 randomly generated
+    test cases" (fewer at ci scale)."""
+    generator = ScenarioGenerator(scale.config)
+    return generator.generate_suite(scale.cases, scale.base_seed)
+
+
+@pytest.fixture(scope="session")
+def artifact_writer(scale):
+    """Persist a rendered figure/table under ``benchmarks/results``."""
+
+    def write(name: str, text: str) -> Path:
+        directory = RESULTS_DIR / scale.name
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return write

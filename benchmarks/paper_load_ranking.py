@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Criterion ranking at the paper's full request load (not a pytest bench).
+
+The reduced-load figures flip the paper's C4-over-C1 ranking; the paper's
+regime is 20–40 requests per machine.  This script measures the criterion
+ranking for the full_one and partial heuristics at the §5.3 load on a
+handful of cases, at the informative E-U points, to check whether heavier
+congestion restores the paper's ordering.
+
+Run (slow, ~minutes per case):
+    python benchmarks/paper_load_ranking.py [cases] [out_path]
+"""
+
+import sys
+
+from repro.core.evaluation import evaluate_schedule
+from repro.baselines.bounds import possible_satisfy, upper_bound
+from repro.experiments.tables import render_table
+from repro.heuristics.registry import make_heuristic
+from repro.workload.config import GeneratorConfig
+from repro.workload.generator import ScenarioGenerator
+
+RATIOS = (0.0, 1.0, 2.0, 3.0)
+CRITERIA = ("C1", "C2", "C3", "C4")
+
+
+def main() -> None:
+    cases = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    out_path = sys.argv[2] if len(sys.argv) > 2 else None
+    generator = ScenarioGenerator(GeneratorConfig.paper())
+    scenarios = generator.generate_suite(cases, base_seed=0)
+
+    lines = []
+    for heuristic in ("full_one", "partial"):
+        totals = {}
+        for criterion in CRITERIA:
+            ratios = (RATIOS[0],) if criterion == "C3" else RATIOS
+            for ratio in ratios:
+                value = 0.0
+                for scenario in scenarios:
+                    run = make_heuristic(heuristic, criterion, ratio).run(
+                        scenario
+                    )
+                    value += evaluate_schedule(
+                        scenario, run.schedule
+                    ).weighted_sum
+                totals[(criterion, ratio)] = value / cases
+        rows = []
+        for criterion in CRITERIA:
+            best_ratio, best_value = max(
+                (
+                    (ratio, value)
+                    for (crit, ratio), value in totals.items()
+                    if crit == criterion
+                ),
+                key=lambda pair: pair[1],
+            )
+            rows.append(
+                [criterion, f"{best_value:.1f}", f"{best_ratio:g}"]
+            )
+        table = render_table(
+            ["criterion", "best mean weighted sum", "at log10(E-U)"],
+            rows,
+            title=(
+                f"paper-load criterion ranking, {heuristic}, "
+                f"{cases} cases @ 20-40 req/machine"
+            ),
+        )
+        lines.append(table)
+        print(table + "\n", flush=True)
+
+    bounds = [
+        f"mean possible_satisfy: "
+        f"{sum(possible_satisfy(s) for s in scenarios) / cases:.1f}",
+        f"mean upper_bound:      "
+        f"{sum(upper_bound(s) for s in scenarios) / cases:.1f}",
+    ]
+    lines.extend(bounds)
+    print("\n".join(bounds))
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(lines) + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,178 @@
+"""datastage — scheduling heuristics for data staging in oversubscribed networks.
+
+A complete, self-contained reproduction of *"Scheduling Heuristics for Data
+Requests in an Oversubscribed Network with Priorities and Deadlines"*
+(Theys, Tan, Beck, Siegel, Jurczyk — ICDCS 2000): the basic data staging
+model, the adapted multiple-source shortest-path routing, the four cost
+criteria, the three scheduling heuristics, the §5.2 bounds and baselines,
+the §5.3 random workload generator, and the full simulation study harness.
+
+Quickstart::
+
+    from repro import ScenarioGenerator, GeneratorConfig, make_heuristic
+    from repro import evaluate_schedule
+
+    scenario = ScenarioGenerator(GeneratorConfig.reduced()).generate(seed=7)
+    result = make_heuristic("full_one", "C4", weights=0.0).run(scenario)
+    print(evaluate_schedule(scenario, result.schedule))
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for the reproduced figures and tables.
+"""
+
+from repro.baselines import (
+    PriorityTierScheduler,
+    RandomDijkstraBaseline,
+    SingleDijkstraRandomBaseline,
+    possible_satisfy,
+    upper_bound,
+)
+from repro.core import (
+    CapacityTimeline,
+    CommunicationStep,
+    DataItem,
+    Delivery,
+    Interval,
+    IntervalSet,
+    Machine,
+    Network,
+    NetworkState,
+    PhysicalLink,
+    Priority,
+    PriorityWeighting,
+    Request,
+    Scenario,
+    Schedule,
+    ScheduleEffect,
+    ScheduleValidator,
+    SourceLocation,
+    TransferPlan,
+    VirtualLink,
+    WEIGHTING_1_5_10,
+    WEIGHTING_1_10_100,
+    evaluate_satisfied,
+    evaluate_schedule,
+)
+from repro.cost import (
+    Cost1,
+    Cost2,
+    Cost3,
+    Cost4,
+    CostCriterion,
+    EUWeights,
+    get_criterion,
+    paper_sweep,
+    register_criterion,
+)
+from repro.dynamic import (
+    CopyLoss,
+    DynamicDriver,
+    DynamicResult,
+    RequestArrival,
+    reveal_at_item_start,
+)
+from repro.exhaustive import ExhaustiveSearch, SearchLimits, SearchResult
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    DataStagingError,
+    InfeasibleTransferError,
+    LinkBusyError,
+    ModelError,
+    ScenarioError,
+    SchedulingError,
+    ValidationError,
+)
+from repro.heuristics import (
+    FullPathAllDestinationsHeuristic,
+    FullPathOneDestinationHeuristic,
+    HeuristicResult,
+    PartialPathHeuristic,
+    StagingHeuristic,
+    heuristic_names,
+    make_heuristic,
+    paper_pairings,
+)
+from repro.routing import compute_shortest_path_tree
+from repro.serialization import (
+    load_scenario,
+    load_schedule,
+    save_scenario,
+    save_schedule,
+)
+from repro.workload import GeneratorConfig, ScenarioGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapacityError",
+    "CapacityTimeline",
+    "CommunicationStep",
+    "ConfigurationError",
+    "Cost1",
+    "Cost2",
+    "Cost3",
+    "CopyLoss",
+    "Cost4",
+    "CostCriterion",
+    "DataItem",
+    "DataStagingError",
+    "Delivery",
+    "DynamicDriver",
+    "DynamicResult",
+    "EUWeights",
+    "ExhaustiveSearch",
+    "FullPathAllDestinationsHeuristic",
+    "FullPathOneDestinationHeuristic",
+    "GeneratorConfig",
+    "HeuristicResult",
+    "InfeasibleTransferError",
+    "Interval",
+    "IntervalSet",
+    "LinkBusyError",
+    "Machine",
+    "ModelError",
+    "Network",
+    "NetworkState",
+    "PartialPathHeuristic",
+    "PhysicalLink",
+    "Priority",
+    "PriorityTierScheduler",
+    "PriorityWeighting",
+    "RandomDijkstraBaseline",
+    "Request",
+    "RequestArrival",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioGenerator",
+    "Schedule",
+    "ScheduleEffect",
+    "ScheduleValidator",
+    "SchedulingError",
+    "SearchLimits",
+    "SearchResult",
+    "SingleDijkstraRandomBaseline",
+    "SourceLocation",
+    "StagingHeuristic",
+    "TransferPlan",
+    "ValidationError",
+    "VirtualLink",
+    "WEIGHTING_1_5_10",
+    "WEIGHTING_1_10_100",
+    "compute_shortest_path_tree",
+    "evaluate_satisfied",
+    "evaluate_schedule",
+    "get_criterion",
+    "heuristic_names",
+    "load_scenario",
+    "load_schedule",
+    "make_heuristic",
+    "paper_pairings",
+    "paper_sweep",
+    "possible_satisfy",
+    "register_criterion",
+    "reveal_at_item_start",
+    "save_scenario",
+    "save_schedule",
+    "upper_bound",
+]

@@ -1,0 +1,35 @@
+"""Post-hoc analysis of schedules: statistics and ASCII visualization."""
+
+from repro.analysis.compare import (
+    ArrivalDelta,
+    ScheduleComparison,
+    compare_schedules,
+    render_comparison,
+)
+from repro.analysis.gantt import render_gantt
+from repro.analysis.stats import (
+    DeliveryLatency,
+    LinkUtilization,
+    ScheduleStats,
+    StoragePeak,
+    delivery_latency,
+    link_utilization,
+    schedule_stats,
+    storage_peaks,
+)
+
+__all__ = [
+    "ArrivalDelta",
+    "DeliveryLatency",
+    "LinkUtilization",
+    "ScheduleComparison",
+    "ScheduleStats",
+    "StoragePeak",
+    "compare_schedules",
+    "delivery_latency",
+    "link_utilization",
+    "render_comparison",
+    "render_gantt",
+    "schedule_stats",
+    "storage_peaks",
+]

@@ -1,0 +1,147 @@
+"""Schedule comparison: what two schedulers did differently on one scenario.
+
+:func:`compare_schedules` diffs two schedules of the *same* scenario —
+who satisfied which requests, how arrival times differ on the shared
+deliveries, and how much transfer work each booked.  Useful when studying
+why one heuristic/criterion pair beats another on a specific case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.scenario import Scenario
+from repro.core.schedule import Schedule
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class ArrivalDelta:
+    """One request delivered by both schedules, with differing arrivals.
+
+    Attributes:
+        request_id: the shared delivery.
+        first_arrival: arrival time under the first schedule.
+        second_arrival: arrival time under the second schedule.
+    """
+
+    request_id: int
+    first_arrival: float
+    second_arrival: float
+
+    @property
+    def delta(self) -> float:
+        """``second − first`` (positive: the second schedule was later)."""
+        return self.second_arrival - self.first_arrival
+
+
+@dataclass(frozen=True)
+class ScheduleComparison:
+    """The diff of two schedules over one scenario.
+
+    Attributes:
+        only_first: request ids satisfied only by the first schedule.
+        only_second: request ids satisfied only by the second schedule.
+        both: request ids satisfied by both.
+        weighted_sum_first: first schedule's weighted priority sum.
+        weighted_sum_second: second schedule's weighted priority sum.
+        arrival_deltas: per-shared-request arrival differences (only
+            entries with a non-zero delta), sorted by |delta| descending.
+        steps_first: transfer count of the first schedule.
+        steps_second: transfer count of the second schedule.
+    """
+
+    only_first: Tuple[int, ...]
+    only_second: Tuple[int, ...]
+    both: Tuple[int, ...]
+    weighted_sum_first: float
+    weighted_sum_second: float
+    arrival_deltas: Tuple[ArrivalDelta, ...]
+    steps_first: int
+    steps_second: int
+
+    @property
+    def weighted_gap(self) -> float:
+        """``second − first`` weighted sums (positive: second wins)."""
+        return self.weighted_sum_second - self.weighted_sum_first
+
+
+def compare_schedules(
+    scenario: Scenario, first: Schedule, second: Schedule
+) -> ScheduleComparison:
+    """Diff two schedules of the same scenario.
+
+    Raises:
+        ModelError: when either schedule references a request the scenario
+            does not contain (a sign the schedules belong elsewhere).
+    """
+    known = {request.request_id for request in scenario.requests}
+    for schedule in (first, second):
+        extra = set(schedule.deliveries) - known
+        if extra:
+            raise ModelError(
+                f"schedule {schedule.name!r} delivers unknown requests "
+                f"{sorted(extra)} — not a schedule of this scenario?"
+            )
+
+    satisfied_first = set(first.deliveries)
+    satisfied_second = set(second.deliveries)
+    both = satisfied_first & satisfied_second
+
+    def weighted(ids) -> float:
+        return sum(
+            scenario.weighting.weight(scenario.request(rid).priority)
+            for rid in ids
+        )
+
+    deltas = []
+    for request_id in both:
+        a = first.delivery(request_id).arrival
+        b = second.delivery(request_id).arrival
+        if a != b:
+            deltas.append(
+                ArrivalDelta(
+                    request_id=request_id,
+                    first_arrival=a,
+                    second_arrival=b,
+                )
+            )
+    deltas.sort(key=lambda d: (-abs(d.delta), d.request_id))
+
+    return ScheduleComparison(
+        only_first=tuple(sorted(satisfied_first - satisfied_second)),
+        only_second=tuple(sorted(satisfied_second - satisfied_first)),
+        both=tuple(sorted(both)),
+        weighted_sum_first=weighted(satisfied_first),
+        weighted_sum_second=weighted(satisfied_second),
+        arrival_deltas=tuple(deltas),
+        steps_first=first.step_count,
+        steps_second=second.step_count,
+    )
+
+
+def render_comparison(
+    comparison: ScheduleComparison,
+    first_name: str = "first",
+    second_name: str = "second",
+) -> str:
+    """Render a comparison as a compact text block."""
+    lines = [
+        f"{first_name}: weighted {comparison.weighted_sum_first:g} "
+        f"({len(comparison.only_first) + len(comparison.both)} deliveries, "
+        f"{comparison.steps_first} steps)",
+        f"{second_name}: weighted {comparison.weighted_sum_second:g} "
+        f"({len(comparison.only_second) + len(comparison.both)} deliveries, "
+        f"{comparison.steps_second} steps)",
+        f"shared deliveries: {len(comparison.both)}; "
+        f"only {first_name}: {list(comparison.only_first)}; "
+        f"only {second_name}: {list(comparison.only_second)}",
+    ]
+    if comparison.arrival_deltas:
+        worst = comparison.arrival_deltas[0]
+        lines.append(
+            f"largest arrival shift: request {worst.request_id} "
+            f"({worst.first_arrival:g}s -> {worst.second_arrival:g}s)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Lower/upper bounds and comparison schedulers (paper §5.2 and §5.4)."""
+
+from repro.baselines.bounds import (
+    isolated_satisfiable_requests,
+    possible_satisfy,
+    possible_satisfy_effect,
+    upper_bound,
+    upper_bound_effect,
+)
+from repro.baselines.priority_tier import PriorityTierScheduler
+from repro.baselines.random_dijkstra import RandomDijkstraBaseline
+from repro.baselines.single_dijkstra_random import SingleDijkstraRandomBaseline
+
+__all__ = [
+    "PriorityTierScheduler",
+    "RandomDijkstraBaseline",
+    "SingleDijkstraRandomBaseline",
+    "isolated_satisfiable_requests",
+    "possible_satisfy",
+    "possible_satisfy_effect",
+    "upper_bound",
+    "upper_bound_effect",
+]

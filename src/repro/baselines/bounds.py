@@ -1,0 +1,61 @@
+"""The two upper bounds of §5.2.
+
+* ``upper_bound`` — the total weighted priority of *all* requests, i.e. the
+  score of a hypothetical schedule satisfying everything (loose).
+* ``possible_satisfy`` — the weighted priority of the requests that could be
+  satisfied if each were alone in the network: one shortest-path run per
+  item against a pristine (booking-free) state decides, per destination,
+  whether even the uncontended network can beat the deadline.  Requests can
+  fail this test purely for lack of bandwidth or storage, which is why
+  ``possible_satisfy`` sits below ``upper_bound`` on oversubscribed inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.evaluation import evaluate_satisfied
+from repro.core.scenario import Scenario
+from repro.core.schedule import ScheduleEffect
+from repro.core.state import NetworkState
+from repro.routing.dijkstra import compute_shortest_path_tree
+
+
+def upper_bound(scenario: Scenario) -> float:
+    """The loose upper bound: every request counted as satisfied."""
+    return scenario.total_weighted_priority()
+
+
+def upper_bound_effect(scenario: Scenario) -> ScheduleEffect:
+    """The loose upper bound with per-priority-class counts."""
+    return evaluate_satisfied(
+        scenario, (request.request_id for request in scenario.requests)
+    )
+
+
+def isolated_satisfiable_requests(scenario: Scenario) -> Tuple[int, ...]:
+    """Ids of requests satisfiable when alone in the network.
+
+    One earliest-arrival tree per requested item is computed against a
+    pristine state; a request passes when its predicted arrival meets its
+    deadline.  If the uncontended shortest path misses the deadline, no
+    schedule can satisfy the request at all.
+    """
+    pristine = NetworkState(scenario)
+    satisfiable = []
+    for item_id in scenario.requested_item_ids():
+        tree = compute_shortest_path_tree(pristine, item_id)
+        for request in scenario.requests_for_item(item_id):
+            if tree.arrival(request.destination) <= request.deadline:
+                satisfiable.append(request.request_id)
+    return tuple(sorted(satisfiable))
+
+
+def possible_satisfy(scenario: Scenario) -> float:
+    """The tighter upper bound: weighted sum of isolation-satisfiable requests."""
+    return possible_satisfy_effect(scenario).weighted_sum
+
+
+def possible_satisfy_effect(scenario: Scenario) -> ScheduleEffect:
+    """The tighter upper bound with per-priority-class counts."""
+    return evaluate_satisfied(scenario, isolated_satisfiable_requests(scenario))

@@ -1,0 +1,338 @@
+"""Command-line interface: ``datastage`` / ``python -m repro``.
+
+Subcommands:
+
+* ``generate`` — draw a random BADD-like scenario and write it to JSON;
+* ``run`` — schedule a scenario with one heuristic/criterion pair, print
+  the outcome, optionally save the schedule;
+* ``bounds`` — print the §5.2 bounds of a scenario;
+* ``figure`` — reproduce one of Figures 2–5 as an ASCII table;
+* ``validate`` — check a saved schedule against a saved scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.stats import schedule_stats
+from repro.baselines.bounds import possible_satisfy, upper_bound
+from repro.core.evaluation import evaluate_schedule
+from repro.core.validation import ScheduleValidator
+from repro.cost.criteria import criterion_names
+from repro.errors import DataStagingError, ValidationError
+from repro.experiments.figures import figure2, heuristic_figure
+from repro.experiments.report import build_report
+from repro.experiments.runner import run_pair
+from repro.experiments.scale import scale_by_name
+from repro.experiments.tables import render_figure
+from repro.heuristics.registry import heuristic_names, make_heuristic
+from repro.serialization import (
+    load_scenario,
+    load_schedule,
+    save_scenario,
+    save_schedule,
+)
+from repro.workload.config import GeneratorConfig
+from repro.workload.generator import ScenarioGenerator
+from repro.workload.describe import describe, render_description
+from repro.workload.presets import badd_theater, two_route_diamond
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="datastage",
+        description=(
+            "Data staging scheduling heuristics for oversubscribed "
+            "networks with priorities and deadlines (Theys et al., "
+            "ICDCS 2000)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="draw a random scenario and write it to JSON"
+    )
+    generate.add_argument("output", help="output JSON path")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--profile",
+        choices=("paper", "reduced", "tiny", "theater", "diamond"),
+        default="reduced",
+        help=(
+            "generator parameter profile, or a hand-built preset "
+            "(theater / diamond); default: reduced"
+        ),
+    )
+
+    run = sub.add_parser(
+        "run", help="schedule a scenario with one heuristic/criterion pair"
+    )
+    run.add_argument("scenario", help="scenario JSON path")
+    run.add_argument(
+        "--heuristic", choices=heuristic_names(), default="full_one"
+    )
+    run.add_argument("--criterion", choices=criterion_names(), default="C4")
+    run.add_argument(
+        "--log-ratio",
+        type=float,
+        default=0.0,
+        help="log10(W_E/W_U); use inf or -inf for the extremes",
+    )
+    run.add_argument("--save-schedule", help="write the schedule to JSON")
+
+    bounds = sub.add_parser("bounds", help="print the §5.2 bounds")
+    bounds.add_argument("scenario", help="scenario JSON path")
+
+    figure = sub.add_parser(
+        "figure", help="reproduce a paper figure as an ASCII table"
+    )
+    figure.add_argument(
+        "figure_id", choices=("2", "3", "4", "5"), help="paper figure number"
+    )
+    figure.add_argument(
+        "--scale",
+        default="ci",
+        choices=("ci", "full", "paper"),
+        help="experiment scale (default: ci)",
+    )
+
+    validate = sub.add_parser(
+        "validate", help="check a saved schedule against its scenario"
+    )
+    validate.add_argument("scenario", help="scenario JSON path")
+    validate.add_argument("schedule", help="schedule JSON path")
+
+    stats = sub.add_parser(
+        "stats", help="summarize a saved schedule (utilization, slack)"
+    )
+    stats.add_argument("scenario", help="scenario JSON path")
+    stats.add_argument("schedule", help="schedule JSON path")
+
+    gantt = sub.add_parser(
+        "gantt", help="render a saved schedule's link occupancy as ASCII"
+    )
+    gantt.add_argument("scenario", help="scenario JSON path")
+    gantt.add_argument("schedule", help="schedule JSON path")
+    gantt.add_argument("--width", type=int, default=72)
+
+    describe = sub.add_parser(
+        "describe", help="print workload statistics of a saved scenario"
+    )
+    describe.add_argument("scenario", help="scenario JSON path")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="E-U sweep of one heuristic/criterion pair over random cases",
+    )
+    sweep.add_argument(
+        "--heuristic", choices=heuristic_names(), default="full_one"
+    )
+    sweep.add_argument("--criterion", choices=criterion_names(), default="C4")
+    sweep.add_argument(
+        "--scale",
+        default="ci",
+        choices=("ci", "full", "paper"),
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="assemble recorded benchmark artifacts into markdown",
+    )
+    report.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="results directory written by the benchmarks",
+    )
+    report.add_argument(
+        "--scale",
+        default="ci",
+        choices=("ci", "full", "paper"),
+    )
+    report.add_argument("--output", help="write to a file instead of stdout")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    presets = {"theater": badd_theater, "diamond": two_route_diamond}
+    if args.profile in presets:
+        scenario = presets[args.profile]()
+    else:
+        profiles = {
+            "paper": GeneratorConfig.paper,
+            "reduced": GeneratorConfig.reduced,
+            "tiny": GeneratorConfig.tiny,
+        }
+        generator = ScenarioGenerator(profiles[args.profile]())
+        scenario = generator.generate(args.seed)
+    save_scenario(scenario, args.output)
+    print(
+        f"wrote {scenario.name}: {scenario.network.machine_count} machines, "
+        f"{scenario.item_count} items, {scenario.request_count} requests "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = load_scenario(args.scenario)
+    record = run_pair(
+        scenario, args.heuristic, args.criterion, args.log_ratio
+    )
+    print(
+        f"{record.scheduler} @ log10(E-U)={record.eu_label}: "
+        f"weighted sum {record.weighted_sum:g} "
+        f"({record.satisfied_count}/{sum(record.total_by_priority)} "
+        f"requests), {record.steps} steps, "
+        f"{record.dijkstra_runs} Dijkstra runs, "
+        f"{record.elapsed_seconds:.2f}s"
+    )
+    if args.save_schedule:
+        scheduler = make_heuristic(
+            args.heuristic, args.criterion, args.log_ratio
+        )
+        result = scheduler.run(scenario)
+        save_schedule(result.schedule, args.save_schedule)
+        print(f"schedule written to {args.save_schedule}")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    scenario = load_scenario(args.scenario)
+    print(f"upper_bound      {upper_bound(scenario):g}")
+    print(f"possible_satisfy {possible_satisfy(scenario):g}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scale = scale_by_name(args.scale)
+    generator = ScenarioGenerator(scale.config)
+    scenarios = generator.generate_suite(scale.cases, scale.base_seed)
+    if args.figure_id == "2":
+        data = figure2(scenarios, scale.log_ratios)
+    else:
+        heuristic = {"3": "partial", "4": "full_one", "5": "full_all"}[
+            args.figure_id
+        ]
+        data = heuristic_figure(scenarios, heuristic, scale.log_ratios)
+    print(render_figure(data))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    scenario = load_scenario(args.scenario)
+    schedule = load_schedule(args.schedule)
+    try:
+        ScheduleValidator(scenario).validate(schedule)
+    except ValidationError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    effect = evaluate_schedule(scenario, schedule)
+    print(f"valid; {effect}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    scenario = load_scenario(args.scenario)
+    schedule = load_schedule(args.schedule)
+    stats = schedule_stats(scenario, schedule)
+    print(f"steps:                 {stats.steps}")
+    print(f"deliveries:            {stats.deliveries}")
+    print(f"bytes transferred:     {stats.bytes_transferred:.0f}")
+    print(f"mean link utilization: {stats.mean_link_utilization:.4f}")
+    print(f"max link utilization:  {stats.max_link_utilization:.4f}")
+    print(f"mean delivery slack:   {stats.latency.mean_slack:.1f}s")
+    print(f"min delivery slack:    {stats.latency.min_slack:.1f}s")
+    print(f"mean hops/delivery:    {stats.latency.mean_hops:.2f}")
+    print(f"peak storage fraction: {stats.peak_storage_fraction:.4f}")
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    scenario = load_scenario(args.scenario)
+    schedule = load_schedule(args.schedule)
+    print(render_gantt(scenario, schedule, width=args.width))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    scenario = load_scenario(args.scenario)
+    print(render_description(describe(scenario)))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.aggregate import mean_by_scheduler
+    from repro.experiments.sweep import resolve_ratios, sweep_pair
+    from repro.experiments.tables import render_table
+
+    scale = scale_by_name(args.scale)
+    generator = ScenarioGenerator(scale.config)
+    scenarios = generator.generate_suite(scale.cases, scale.base_seed)
+    grid = resolve_ratios(scale.log_ratios)
+    records = sweep_pair(scenarios, args.heuristic, args.criterion, grid)
+    means = mean_by_scheduler(records)
+    labels = [weights.label() for weights in grid]
+    scheduler = records[0].scheduler
+    eu_labels = {record.eu_label for record in records}
+    row = [scheduler]
+    for label in labels:
+        key = label if label in eu_labels else "-"
+        row.append(f"{means[(scheduler, key)].mean:.1f}")
+    print(
+        render_table(
+            ["series"] + labels,
+            [row],
+            title=(
+                f"E-U sweep, {scale.cases} cases at scale {scale.name}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    text = build_report(args.results_dir, args.scale)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "run": _cmd_run,
+    "bounds": _cmd_bounds,
+    "figure": _cmd_figure,
+    "validate": _cmd_validate,
+    "stats": _cmd_stats,
+    "gantt": _cmd_gantt,
+    "describe": _cmd_describe,
+    "sweep": _cmd_sweep,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except DataStagingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

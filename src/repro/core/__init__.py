@@ -1,0 +1,68 @@
+"""Core model of the basic data staging problem (paper §3).
+
+This subpackage contains the immutable entities of the mathematical model
+(machines, links, data items, requests, scenarios), the mutable scheduling
+state, the schedule representation, and the independent feasibility
+validator.  Everything else in the library — routing, cost criteria,
+heuristics, the workload generator — is built on these types.
+"""
+
+from repro.core.data import DataItem, SourceLocation
+from repro.core.evaluation import evaluate_satisfied, evaluate_schedule
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.link import PhysicalLink, VirtualLink
+from repro.core.machine import Machine
+from repro.core.network import Network, machines_with_uniform_capacity
+from repro.core.priority import (
+    Priority,
+    PriorityWeighting,
+    WEIGHTING_1_5_10,
+    WEIGHTING_1_10_100,
+)
+from repro.core.request import Request
+from repro.core.scenario import Scenario, requests_from_tuples
+from repro.core.schedule import (
+    CommunicationStep,
+    Delivery,
+    Schedule,
+    ScheduleEffect,
+)
+from repro.core.state import (
+    BookingResult,
+    CopyRecord,
+    NetworkState,
+    TransferPlan,
+)
+from repro.core.timeline import CapacityTimeline
+from repro.core.validation import ScheduleValidator
+
+__all__ = [
+    "BookingResult",
+    "CapacityTimeline",
+    "CommunicationStep",
+    "CopyRecord",
+    "DataItem",
+    "Delivery",
+    "Interval",
+    "IntervalSet",
+    "Machine",
+    "Network",
+    "NetworkState",
+    "PhysicalLink",
+    "Priority",
+    "PriorityWeighting",
+    "Request",
+    "Scenario",
+    "Schedule",
+    "ScheduleEffect",
+    "ScheduleValidator",
+    "SourceLocation",
+    "TransferPlan",
+    "VirtualLink",
+    "WEIGHTING_1_5_10",
+    "WEIGHTING_1_10_100",
+    "evaluate_satisfied",
+    "evaluate_schedule",
+    "machines_with_uniform_capacity",
+    "requests_from_tuples",
+]

@@ -1,0 +1,50 @@
+"""Scoring schedules against the paper's global optimization criterion.
+
+The effect of a schedule is ``E[S_h] = -Σ W[Priority[j,k]]`` over all
+satisfiable requests; the schedulers maximize the weighted sum (minimize the
+effect).  :func:`evaluate_schedule` computes the weighted sum together with
+per-priority-class satisfaction counts, which the §5.4 weighting-scheme and
+priority-tier comparisons report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.scenario import Scenario
+from repro.core.schedule import Schedule, ScheduleEffect
+
+
+def evaluate_satisfied(
+    scenario: Scenario, satisfied_request_ids: Iterable[int]
+) -> ScheduleEffect:
+    """Score an explicit set of satisfied request ids.
+
+    Args:
+        scenario: the problem instance (supplies priorities and weighting).
+        satisfied_request_ids: ids of the requests considered satisfied.
+
+    Returns:
+        The weighted sum and per-class counts as a
+        :class:`~repro.core.schedule.ScheduleEffect`.
+    """
+    classes = scenario.weighting.highest_priority + 1
+    satisfied_counts = [0] * classes
+    total_counts = [0] * classes
+    for request in scenario.requests:
+        total_counts[request.priority] += 1
+    weighted_sum = 0.0
+    for request_id in set(satisfied_request_ids):
+        request = scenario.request(request_id)
+        satisfied_counts[request.priority] += 1
+        weighted_sum += scenario.weighting.weight(request.priority)
+    return ScheduleEffect(
+        weighted_sum=weighted_sum,
+        satisfied_by_priority=tuple(satisfied_counts),
+        total_by_priority=tuple(total_counts),
+    )
+
+
+def evaluate_schedule(scenario: Scenario, schedule: Schedule) -> ScheduleEffect:
+    """Score a schedule by its recorded deliveries."""
+    return evaluate_satisfied(scenario, schedule.satisfied_request_ids())

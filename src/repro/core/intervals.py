@@ -1,0 +1,208 @@
+"""Half-open time intervals and sorted disjoint interval sets.
+
+Intervals are half-open ``[start, end)`` so that back-to-back bookings
+(``[0, 5)`` then ``[5, 9)``) do not collide.  :class:`IntervalSet` keeps a
+sorted list of pairwise-disjoint intervals and supports the three operations
+the scheduler needs:
+
+* overlap queries (is a candidate booking free?),
+* insertion of a new busy interval,
+* earliest-fit search: the first start time ``>= earliest`` at which a gap of
+  a given duration exists inside a bounding window.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open time interval ``[start, end)`` in canonical seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"interval end {self.end} precedes start {self.start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+    def is_empty(self) -> bool:
+        """True for zero-length intervals, which overlap nothing."""
+        return self.end <= self.start
+
+    def contains(self, t: float) -> bool:
+        """True if time ``t`` lies inside the half-open interval."""
+        return self.start <= t < self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True if ``other`` lies entirely within this interval."""
+        if other.is_empty():
+            return self.start <= other.start <= self.end
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the two half-open intervals share any instant."""
+        if self.is_empty() or other.is_empty():
+            return False
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """The overlapping sub-interval, or ``None`` if disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return Interval(start, end)
+
+    def shifted(self, delta: float) -> "Interval":
+        """A copy translated by ``delta`` seconds."""
+        return Interval(self.start + delta, self.end + delta)
+
+    def __repr__(self) -> str:
+        return f"Interval({self.start:g}, {self.end:g})"
+
+
+class IntervalSet:
+    """A mutable, sorted collection of pairwise-disjoint intervals.
+
+    Used for virtual-link busy time.  Insertion of an interval overlapping an
+    existing member raises :class:`ValueError` — the scheduler must query
+    :meth:`is_free` / :meth:`earliest_fit` first, so an overlapping insert is
+    a logic error worth failing loudly on.
+    """
+
+    __slots__ = ("_starts", "_intervals")
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._starts: List[float] = []
+        self._intervals: List[Interval] = []
+        for interval in sorted(intervals):
+            self.add(interval)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __contains__(self, interval: Interval) -> bool:
+        idx = bisect.bisect_left(self._starts, interval.start)
+        return idx < len(self._intervals) and self._intervals[idx] == interval
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({self._intervals!r})"
+
+    def copy(self) -> "IntervalSet":
+        """An independent copy (intervals themselves are immutable)."""
+        clone = IntervalSet()
+        clone._starts = list(self._starts)
+        clone._intervals = list(self._intervals)
+        return clone
+
+    def total_duration(self) -> float:
+        """Sum of the durations of all member intervals."""
+        return sum(interval.duration for interval in self._intervals)
+
+    def is_free(self, candidate: Interval) -> bool:
+        """True if ``candidate`` overlaps no member interval."""
+        if candidate.is_empty():
+            return True
+        # The only members that can overlap are the one starting at or before
+        # the candidate and the ones starting inside it.
+        idx = bisect.bisect_right(self._starts, candidate.start)
+        if idx > 0 and self._intervals[idx - 1].overlaps(candidate):
+            return False
+        while idx < len(self._intervals):
+            member = self._intervals[idx]
+            if member.start >= candidate.end:
+                break
+            if member.overlaps(candidate):
+                return False
+            idx += 1
+        return True
+
+    def add(self, interval: Interval) -> None:
+        """Insert a new busy interval.
+
+        Raises:
+            ValueError: if the interval overlaps an existing member.
+        """
+        if interval.is_empty():
+            return
+        if not self.is_free(interval):
+            raise ValueError(
+                f"{interval!r} overlaps an existing interval in {self!r}"
+            )
+        idx = bisect.bisect_left(self._starts, interval.start)
+        self._starts.insert(idx, interval.start)
+        self._intervals.insert(idx, interval)
+
+    def remove(self, interval: Interval) -> None:
+        """Remove an exact member interval.
+
+        Raises:
+            KeyError: if the exact interval is not a member.
+        """
+        idx = bisect.bisect_left(self._starts, interval.start)
+        if idx < len(self._intervals) and self._intervals[idx] == interval:
+            del self._starts[idx]
+            del self._intervals[idx]
+            return
+        raise KeyError(f"{interval!r} is not a member of the set")
+
+    def earliest_fit(
+        self,
+        duration: float,
+        window: Interval,
+        earliest: float = float("-inf"),
+    ) -> Optional[float]:
+        """Earliest start ``>= max(window.start, earliest)`` of a free gap.
+
+        The returned start time ``s`` guarantees ``[s, s + duration)`` is
+        disjoint from every member interval and contained in ``window``.
+        Returns ``None`` when no such start exists.
+
+        Args:
+            duration: required gap length in seconds (must be >= 0).
+            window: bounding availability window (e.g. a virtual link's
+                ``[Lst, Let)``).
+            earliest: additional lower bound on the start time (e.g. the
+                moment the sender holds the data item).
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        cursor = max(window.start, earliest)
+        if cursor + duration > window.end:
+            return None
+        if duration == 0:
+            # A zero-length booking overlaps nothing.
+            return cursor
+        # Skip members ending at or before the cursor.
+        idx = bisect.bisect_right(self._starts, cursor)
+        if idx > 0 and self._intervals[idx - 1].end > cursor:
+            # Cursor lands inside a member; move to its end.
+            cursor = self._intervals[idx - 1].end
+        while True:
+            if cursor + duration > window.end:
+                return None
+            if idx >= len(self._intervals):
+                return cursor
+            member = self._intervals[idx]
+            if member.start >= cursor + duration:
+                return cursor
+            cursor = max(cursor, member.end)
+            idx += 1
+
+    def intervals(self) -> Tuple[Interval, ...]:
+        """The member intervals in ascending order (immutable snapshot)."""
+        return tuple(self._intervals)

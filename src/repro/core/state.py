@@ -1,0 +1,547 @@
+"""Mutable scheduling state over an immutable scenario.
+
+:class:`NetworkState` is the single authority on resource availability while
+a schedule is being built.  It tracks:
+
+* per virtual link — the booked busy intervals (a link carries one transfer
+  at a time);
+* per machine — the free-storage timeline ``Cap[i](t)``;
+* per data item — the set of machines currently holding a copy, when each
+  copy became available, and when it will be garbage-collected;
+* which requests have been satisfied so far;
+* monotonically increasing *revision counters* per link, per machine, and
+  per item, which the heuristics use to decide whether a cached
+  shortest-path tree is still valid.
+
+All transfers are booked through :meth:`book_transfer`, which enforces every
+model constraint (window containment, link exclusivity, receiver capacity
+over the full residency, sender residency) and appends the step — plus any
+resulting deliveries — to the state's :class:`~repro.core.schedule.Schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.link import VirtualLink
+from repro.core.schedule import Schedule
+from repro.core.scenario import Scenario
+from repro.core.timeline import CapacityTimeline
+from repro.errors import InfeasibleTransferError, SchedulingError
+
+
+@dataclass(frozen=True)
+class CopyRecord:
+    """One copy of a data item residing on a machine.
+
+    Attributes:
+        machine: the holding machine's index.
+        available_from: the instant the copy can be forwarded or consumed.
+        release: the instant the copy disappears (garbage collection for
+            intermediates; the scheduling horizon for sources/destinations).
+        hops: number of communication steps between the original source and
+            this copy (0 for initial sources).
+    """
+
+    machine: int
+    available_from: float
+    release: float
+    hops: int
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """A feasible (but not yet booked) transfer found by :meth:`earliest_transfer`.
+
+    Attributes:
+        item_id: the data item to move.
+        link: the virtual link to use.
+        start: transfer start time.
+        end: transfer completion time (``start`` + communication time).
+        release: when the receiver's new copy will be released.
+    """
+
+    item_id: int
+    link: VirtualLink
+    start: float
+    end: float
+    release: float
+
+
+@dataclass(frozen=True)
+class BookingResult:
+    """Outcome of a booked transfer.
+
+    Attributes:
+        step_id: index of the created communication step.
+        copy: the receiver's new copy record.
+        satisfied_request_ids: requests newly satisfied by this arrival.
+    """
+
+    step_id: int
+    copy: CopyRecord
+    satisfied_request_ids: Tuple[int, ...]
+
+
+class NetworkState:
+    """Resource and copy-location state during schedule construction."""
+
+    def __init__(self, scenario: Scenario, schedule_name: str = "") -> None:
+        self._scenario = scenario
+        network = scenario.network
+        self._busy: List[IntervalSet] = [
+            IntervalSet() for _ in network.virtual_links
+        ]
+        self._timelines: List[CapacityTimeline] = [
+            CapacityTimeline(machine.capacity) for machine in network.machines
+        ]
+        # copies[item_id] maps machine index -> CopyRecord.
+        self._copies: List[Dict[int, CopyRecord]] = [
+            {} for _ in scenario.items
+        ]
+        for item in scenario.items:
+            for src in item.sources:
+                self._copies[item.item_id][src.machine] = CopyRecord(
+                    machine=src.machine,
+                    available_from=src.available_from,
+                    release=scenario.horizon,
+                    hops=0,
+                )
+        self._satisfied: Dict[int, float] = {}
+        # Per-virtual-link availability cutoff (dynamic outages): no new
+        # transfer may *complete* after the cutoff.  inf = never cut.
+        self._link_cutoff: List[float] = (
+            [float("inf")] * len(network.virtual_links)
+        )
+        self._link_revision: List[int] = [0] * len(network.virtual_links)
+        self._machine_revision: List[int] = [0] * network.machine_count
+        self._item_revision: List[int] = [0] * len(scenario.items)
+        self._schedule = Schedule(name=schedule_name)
+        # Destination lookup: (item_id, machine) -> request, for delivery
+        # detection on arrival.
+        self._destination_requests: Dict[Tuple[int, int], int] = {
+            (request.item_id, request.destination): request.request_id
+            for request in scenario.requests
+        }
+        # Copy release times are static (DESIGN.md decision 3/4), and the
+        # routing layer asks for them on every edge relaxation — precompute
+        # the full item × machine matrix once.
+        machine_count = network.machine_count
+        self._release_matrix: List[List[float]] = []
+        for item in scenario.items:
+            gc_release = scenario.gc_release_time(item.item_id)
+            row = [gc_release] * machine_count
+            for machine in item.source_machines:
+                row[machine] = scenario.horizon
+            for request in scenario.requests_for_item(item.item_id):
+                row[request.destination] = scenario.horizon
+            self._release_matrix.append(row)
+
+    def clone(self) -> "NetworkState":
+        """An independent deep copy (used by exhaustive search).
+
+        The clone shares the immutable scenario but owns private busy sets,
+        timelines, copy tables, and a full copy of the schedule built so
+        far.  Revision counters reset to zero (they only order events
+        within one state's lifetime, and a fresh tree cache accompanies a
+        fresh state).
+        """
+        clone = NetworkState.__new__(NetworkState)
+        clone._scenario = self._scenario
+        clone._busy = [busy.copy() for busy in self._busy]
+        clone._timelines = [timeline.copy() for timeline in self._timelines]
+        clone._copies = [dict(copies) for copies in self._copies]
+        clone._satisfied = dict(self._satisfied)
+        clone._link_cutoff = list(self._link_cutoff)
+        clone._link_revision = [0] * len(self._link_revision)
+        clone._machine_revision = [0] * len(self._machine_revision)
+        clone._item_revision = [0] * len(self._item_revision)
+        schedule = Schedule(name=self._schedule.name)
+        schedule.extend_from(self._schedule.steps)
+        for delivery in self._schedule.deliveries.values():
+            schedule.add_delivery(
+                request_id=delivery.request_id,
+                arrival=delivery.arrival,
+                hops=delivery.hops,
+            )
+        clone._schedule = schedule
+        clone._destination_requests = self._destination_requests
+        clone._release_matrix = self._release_matrix
+        return clone
+
+    # -- read-only accessors --------------------------------------------------
+
+    @property
+    def scenario(self) -> Scenario:
+        """The immutable problem instance this state belongs to."""
+        return self._scenario
+
+    @property
+    def schedule(self) -> Schedule:
+        """The schedule built so far (owned by this state)."""
+        return self._schedule
+
+    def copies(self, item_id: int) -> Dict[int, CopyRecord]:
+        """Current copies of an item, keyed by machine (snapshot)."""
+        return dict(self._copies[item_id])
+
+    def copy_at(self, item_id: int, machine: int) -> Optional[CopyRecord]:
+        """The copy of ``item_id`` on ``machine``, or ``None``."""
+        return self._copies[item_id].get(machine)
+
+    def holds(self, item_id: int, machine: int) -> bool:
+        """True if the machine currently holds a copy of the item."""
+        return machine in self._copies[item_id]
+
+    def is_satisfied(self, request_id: int) -> bool:
+        """True if the request has been satisfied."""
+        return request_id in self._satisfied
+
+    def satisfied_request_ids(self) -> Tuple[int, ...]:
+        """Ids of all satisfied requests, ascending."""
+        return tuple(sorted(self._satisfied))
+
+    def unsatisfied_requests_for_item(self, item_id: int):
+        """The item's requests that still lack a delivery."""
+        return tuple(
+            request
+            for request in self._scenario.requests_for_item(item_id)
+            if request.request_id not in self._satisfied
+        )
+
+    def link_busy_intervals(self, link_id: int) -> Tuple[Interval, ...]:
+        """Booked busy intervals of one virtual link (snapshot)."""
+        return self._busy[link_id].intervals()
+
+    def machine_timeline(self, machine: int) -> CapacityTimeline:
+        """The machine's free-capacity timeline (live object — do not mutate)."""
+        return self._timelines[machine]
+
+    def link_revision(self, link_id: int) -> int:
+        """Revision counter of a virtual link (bumped on every booking)."""
+        return self._link_revision[link_id]
+
+    def machine_revision(self, machine: int) -> int:
+        """Revision counter of a machine's storage timeline."""
+        return self._machine_revision[machine]
+
+    def item_revision(self, item_id: int) -> int:
+        """Revision counter of an item's copy set."""
+        return self._item_revision[item_id]
+
+    def release_time_at(self, item_id: int, machine: int) -> float:
+        """How long a new copy of ``item_id`` would persist on ``machine``.
+
+        Requesting destinations (and original sources) hold copies until the
+        horizon; every other machine is an intermediate whose copy is
+        garbage-collected ``γ`` after the item's latest deadline.
+        """
+        return self._release_matrix[item_id][machine]
+
+    # -- feasibility search ---------------------------------------------------
+
+    def earliest_transfer(
+        self,
+        item_id: int,
+        link: VirtualLink,
+        sender_ready: float,
+        duration: Optional[float] = None,
+    ) -> Optional[TransferPlan]:
+        """Earliest feasible transfer of an item over one virtual link.
+
+        Finds the smallest start time ``s >= max(sender_ready, Lst)`` such
+        that:
+
+        * the link is idle during ``[s, s + D)`` where ``D`` is the link's
+          communication time for the item;
+        * ``s + D <= Let`` (the transfer fits in the window);
+        * ``s + D <=`` the sender's copy release time (the sender still holds
+          the item when the transfer completes);
+        * the receiver has ``|d|`` bytes free during the new copy's entire
+          residency ``[s, release)``, and the transfer completes before the
+          copy would be released.
+
+        The sender does not need to *currently* hold a copy: the routing
+        layer relaxes edges out of hypothetical intermediate holders whose
+        copy would be created by earlier hops of the same path.  A
+        hypothetical copy's release time equals
+        :meth:`release_time_at`, which also equals the actual release time of
+        every real copy, so one computation serves both cases.
+        :meth:`book_transfer` re-validates that the sender really holds the
+        item before mutating anything.
+
+        Args:
+            item_id: the item to move.
+            link: the virtual link to try.
+            sender_ready: when the sender's copy is (or would be) available.
+            duration: the link's communication time for the item, when the
+                caller already computed it (the routing layer's relaxation
+                loop does); computed from the link otherwise.
+
+        Returns:
+            A :class:`TransferPlan`, or ``None`` when no feasible start
+            exists on this link.
+        """
+        if self.holds(item_id, link.destination):
+            return None
+        item = self._scenario.item(item_id)
+        if duration is None:
+            duration = link.transfer_seconds(item.size)
+        release = self._release_matrix[item_id][link.destination]
+        sender_release = self._release_matrix[item_id][link.source]
+        # Completion must respect the window (clipped by any dynamic
+        # outage), the sender's residency, and the receiver's residency.
+        window_end = min(
+            link.end,
+            sender_release,
+            release,
+            self._link_cutoff[link.link_id],
+        )
+        if window_end <= link.start:
+            return None
+        window = Interval(link.start, window_end)
+        timeline = self._timelines[link.destination]
+        busy = self._busy[link.link_id]
+        cursor = sender_ready
+        while True:
+            start = busy.earliest_fit(duration, window, earliest=cursor)
+            if start is None:
+                return None
+            residency = Interval(start, release)
+            if timeline.can_reserve(item.size, residency):
+                return TransferPlan(
+                    item_id=item_id,
+                    link=link,
+                    start=start,
+                    end=start + duration,
+                    release=release,
+                )
+            next_start = self._next_capacity_start(
+                timeline, item.size, start, release
+            )
+            if next_start is None or next_start + duration > window.end:
+                return None
+            if next_start <= start:
+                raise SchedulingError(
+                    "earliest_transfer failed to make progress at "
+                    f"start={start} on link {link.link_id}"
+                )
+            cursor = next_start
+
+    @staticmethod
+    def _next_capacity_start(
+        timeline: CapacityTimeline,
+        amount: float,
+        start: float,
+        release: float,
+    ) -> Optional[float]:
+        """Smallest ``t > start`` with ``amount`` free throughout ``[t, release)``.
+
+        Later starts only shrink the residency interval, so the answer is the
+        end of the *last* timeline segment intersecting ``[start, release)``
+        whose free capacity is below ``amount``.  Returns ``None`` when that
+        deficiency extends up to ``release`` itself (no start can help).
+        Callers invoke this only after ``can_reserve`` failed, so a deficient
+        segment always exists.
+        """
+        breakpoints = timeline.breakpoints()
+        last_deficient_end: Optional[float] = None
+        for idx, (seg_start, free) in enumerate(breakpoints):
+            if seg_start >= release:
+                break
+            seg_end = (
+                breakpoints[idx + 1][0]
+                if idx + 1 < len(breakpoints)
+                else float("inf")
+            )
+            if seg_end <= start or free >= amount:
+                continue
+            last_deficient_end = seg_end
+        if last_deficient_end is None or last_deficient_end >= release:
+            return None
+        return last_deficient_end
+
+    # -- mutation ---------------------------------------------------------------
+
+    def book_transfer(self, plan: TransferPlan) -> BookingResult:
+        """Execute a :class:`TransferPlan`: reserve resources, place the copy.
+
+        Raises:
+            InfeasibleTransferError: if the plan no longer fits (it was
+                computed against stale state) — states are single-writer, so
+                this indicates a scheduler bug, but the precise diagnostic is
+                kept because the random baselines book speculatively.
+        """
+        link = plan.link
+        item = self._scenario.item(plan.item_id)
+        if self.holds(plan.item_id, link.destination):
+            raise InfeasibleTransferError(
+                f"machine {link.destination} already holds item "
+                f"{plan.item_id}"
+            )
+        sender_copy = self._copies[plan.item_id].get(link.source)
+        if sender_copy is None:
+            raise InfeasibleTransferError(
+                f"machine {link.source} holds no copy of item {plan.item_id}"
+            )
+        if plan.start < sender_copy.available_from:
+            raise InfeasibleTransferError(
+                f"transfer starts at {plan.start} before the sender copy is "
+                f"available at {sender_copy.available_from}"
+            )
+        if plan.end > sender_copy.release:
+            raise InfeasibleTransferError(
+                f"transfer ends at {plan.end} after the sender copy is "
+                f"released at {sender_copy.release}"
+            )
+        busy_interval = Interval(plan.start, plan.end)
+        if not self._busy[link.link_id].is_free(busy_interval):
+            raise InfeasibleTransferError(
+                f"link {link.link_id} is busy during {busy_interval!r}"
+            )
+        if not link.window.contains_interval(busy_interval):
+            raise InfeasibleTransferError(
+                f"transfer {busy_interval!r} escapes link window "
+                f"{link.window!r}"
+            )
+        if plan.end > self._link_cutoff[link.link_id]:
+            raise InfeasibleTransferError(
+                f"transfer completes at {plan.end} after link "
+                f"{link.link_id}'s outage cutoff "
+                f"{self._link_cutoff[link.link_id]}"
+            )
+        residency = Interval(plan.start, plan.release)
+        timeline = self._timelines[link.destination]
+        if not timeline.can_reserve(item.size, residency):
+            raise InfeasibleTransferError(
+                f"machine {link.destination} lacks {item.size} bytes over "
+                f"{residency!r}"
+            )
+        # All checks passed; mutate.
+        self._busy[link.link_id].add(busy_interval)
+        timeline.reserve(item.size, residency)
+        copy = CopyRecord(
+            machine=link.destination,
+            available_from=plan.end,
+            release=plan.release,
+            hops=sender_copy.hops + 1,
+        )
+        self._copies[plan.item_id][link.destination] = copy
+        self._link_revision[link.link_id] += 1
+        self._machine_revision[link.destination] += 1
+        self._item_revision[plan.item_id] += 1
+        step = self._schedule.add_step(
+            item_id=plan.item_id,
+            source=link.source,
+            destination=link.destination,
+            link_id=link.link_id,
+            start=plan.start,
+            end=plan.end,
+        )
+        satisfied = self._record_deliveries(plan.item_id, copy)
+        return BookingResult(
+            step_id=step.step_id,
+            copy=copy,
+            satisfied_request_ids=satisfied,
+        )
+
+    # -- dynamic-simulation surgery ---------------------------------------------
+
+    def link_cutoff(self, link_id: int) -> float:
+        """The virtual link's outage cutoff (``inf`` when never cut)."""
+        return self._link_cutoff[link_id]
+
+    def disable_link_from(self, link_id: int, at_time: float) -> None:
+        """Forbid new transfers on a virtual link from ``at_time`` onwards.
+
+        Models a dynamic link outage: no new transfer may complete after
+        the cutoff.  Transfers already booked are grandfathered (an
+        in-flight transfer either completes or its loss is modelled
+        separately as a :class:`~repro.dynamic.events.CopyLoss` at the
+        receiver).  Tightening an existing cutoff is allowed; loosening is
+        not (outages are permanent in this model).
+
+        Raises:
+            SchedulingError: when attempting to move a cutoff later.
+        """
+        if at_time > self._link_cutoff[link_id]:
+            raise SchedulingError(
+                f"link {link_id} cutoff already at "
+                f"{self._link_cutoff[link_id]}; cannot loosen to {at_time}"
+            )
+        self._link_cutoff[link_id] = at_time
+        self._link_revision[link_id] += 1
+
+    def remove_copy(self, item_id: int, machine: int, at_time: float) -> None:
+        """Delete a resident copy at ``at_time`` (a dynamic loss event).
+
+        The copy's remaining storage reservation ``[at_time, release)`` is
+        returned to the machine and the copy disappears from the item's
+        location table; revision counters bump so cached trees recompute.
+        Used only by :mod:`repro.dynamic` — the static model never loses
+        copies.
+
+        Raises:
+            InfeasibleTransferError: if the machine holds no copy, or the
+                loss time falls outside the copy's residency.
+        """
+        copy = self._copies[item_id].get(machine)
+        if copy is None:
+            raise InfeasibleTransferError(
+                f"machine {machine} holds no copy of item {item_id} to lose"
+            )
+        if not copy.available_from <= at_time < copy.release:
+            raise InfeasibleTransferError(
+                f"loss at {at_time} outside copy residency "
+                f"[{copy.available_from}, {copy.release})"
+            )
+        item = self._scenario.item(item_id)
+        if copy.hops > 0:
+            # Only scheduler-created copies carry a storage reservation;
+            # initial source copies are not charged against Cap (DESIGN.md
+            # decision 3).
+            self._timelines[machine].release(
+                item.size, Interval(at_time, copy.release)
+            )
+        del self._copies[item_id][machine]
+        self._machine_revision[machine] += 1
+        self._item_revision[item_id] += 1
+
+    def reopen_request(self, request_id: int) -> None:
+        """Mark a previously satisfied request as unsatisfied again.
+
+        Used by the dynamic driver when a destination loses its copy
+        before the deadline.  Bumps the item revision so cached candidate
+        evaluations are invalidated.
+
+        Raises:
+            SchedulingError: if the request was not satisfied.
+        """
+        if request_id not in self._satisfied:
+            raise SchedulingError(
+                f"request {request_id} is not satisfied; nothing to reopen"
+            )
+        del self._satisfied[request_id]
+        self._schedule.remove_delivery(request_id)
+        request = self._scenario.request(request_id)
+        self._item_revision[request.item_id] += 1
+
+    def _record_deliveries(
+        self, item_id: int, copy: CopyRecord
+    ) -> Tuple[int, ...]:
+        """Mark requests satisfied by an arrival at their destination."""
+        request_id = self._destination_requests.get((item_id, copy.machine))
+        if request_id is None or request_id in self._satisfied:
+            return ()
+        request = self._scenario.request(request_id)
+        if not request.is_satisfied_by_arrival(copy.available_from):
+            return ()
+        self._satisfied[request_id] = copy.available_from
+        self._schedule.add_delivery(
+            request_id=request_id,
+            arrival=copy.available_from,
+            hops=copy.hops,
+        )
+        return (request_id,)

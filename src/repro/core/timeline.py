@@ -1,0 +1,153 @@
+"""Piecewise-constant capacity timelines — the model's ``Cap[i](t)``.
+
+A :class:`CapacityTimeline` tracks one machine's *free* storage capacity as a
+step function of time.  Reserving storage for a data-item copy subtracts the
+item's size over the copy's residency interval; because garbage collection
+times are known at booking time (``latest deadline + γ``), a reservation is
+always a *finite* interval and no separate release operation is needed.
+
+The representation is a sorted list of breakpoints ``(t, free)`` meaning the
+free capacity equals ``free`` from ``t`` (inclusive) until the next
+breakpoint.  The first breakpoint is always ``(-inf, initial_capacity)`` so
+queries before any reservation are well-defined.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+from repro.core.intervals import Interval
+from repro.errors import CapacityError
+
+
+class CapacityTimeline:
+    """Free-capacity step function with interval reservations.
+
+    Args:
+        capacity: the machine's total storage capacity in bytes; this is the
+            initial free capacity at every instant.
+
+    Raises:
+        ValueError: if ``capacity`` is negative.
+    """
+
+    __slots__ = ("_capacity", "_times", "_values")
+
+    def __init__(self, capacity: float) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self._capacity = capacity
+        self._times: List[float] = [float("-inf")]
+        self._values: List[float] = [capacity]
+
+    @property
+    def capacity(self) -> float:
+        """The machine's total storage capacity in bytes."""
+        return self._capacity
+
+    def copy(self) -> "CapacityTimeline":
+        """An independent deep copy."""
+        clone = CapacityTimeline.__new__(CapacityTimeline)
+        clone._capacity = self._capacity
+        clone._times = list(self._times)
+        clone._values = list(self._values)
+        return clone
+
+    def free_at(self, t: float) -> float:
+        """Free capacity at instant ``t``."""
+        idx = bisect.bisect_right(self._times, t) - 1
+        return self._values[idx]
+
+    def min_free(self, interval: Interval) -> float:
+        """Minimum free capacity over the half-open ``interval``.
+
+        An empty interval imposes no constraint and reports the total
+        capacity.
+        """
+        if interval.is_empty():
+            return self._capacity
+        lo = bisect.bisect_right(self._times, interval.start) - 1
+        minimum = self._values[lo]
+        idx = lo + 1
+        while idx < len(self._times) and self._times[idx] < interval.end:
+            minimum = min(minimum, self._values[idx])
+            idx += 1
+        return minimum
+
+    def can_reserve(self, amount: float, interval: Interval) -> bool:
+        """True if ``amount`` bytes are free throughout ``interval``."""
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        return self.min_free(interval) >= amount
+
+    def reserve(self, amount: float, interval: Interval) -> None:
+        """Subtract ``amount`` bytes of free capacity over ``interval``.
+
+        Raises:
+            CapacityError: if the reservation would drive free capacity
+                negative anywhere in the interval; the timeline is unchanged.
+            ValueError: if ``amount`` is negative.
+        """
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        if amount == 0 or interval.is_empty():
+            return
+        if not self.can_reserve(amount, interval):
+            raise CapacityError(
+                f"cannot reserve {amount} bytes over {interval!r}: "
+                f"minimum free is {self.min_free(interval)}"
+            )
+        self._ensure_breakpoint(interval.start)
+        self._ensure_breakpoint(interval.end)
+        lo = bisect.bisect_left(self._times, interval.start)
+        hi = bisect.bisect_left(self._times, interval.end)
+        for idx in range(lo, hi):
+            self._values[idx] -= amount
+
+    def release(self, amount: float, interval: Interval) -> None:
+        """Add back ``amount`` bytes of free capacity over ``interval``.
+
+        Only used when undoing a prior reservation (e.g. speculative booking
+        in the random baselines).  Free capacity is allowed to exceed the
+        total capacity only transiently inside paired reserve/release misuse;
+        we clamp-check to catch that bug class.
+
+        Raises:
+            ValueError: if releasing would push free capacity above the
+                machine's total capacity (indicates an unmatched release).
+        """
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        if amount == 0 or interval.is_empty():
+            return
+        self._ensure_breakpoint(interval.start)
+        self._ensure_breakpoint(interval.end)
+        lo = bisect.bisect_left(self._times, interval.start)
+        hi = bisect.bisect_left(self._times, interval.end)
+        for idx in range(lo, hi):
+            if self._values[idx] + amount > self._capacity + 1e-6:
+                raise ValueError(
+                    "release exceeds total capacity: unmatched release of "
+                    f"{amount} bytes over {interval!r}"
+                )
+        for idx in range(lo, hi):
+            self._values[idx] += amount
+
+    def breakpoints(self) -> Tuple[Tuple[float, float], ...]:
+        """Snapshot of ``(time, free_capacity)`` breakpoints, ascending."""
+        return tuple(zip(self._times, self._values))
+
+    def _ensure_breakpoint(self, t: float) -> None:
+        """Split the step function at ``t`` without changing its value."""
+        idx = bisect.bisect_right(self._times, t) - 1
+        if self._times[idx] == t:
+            return
+        self._times.insert(idx + 1, t)
+        self._values.insert(idx + 1, self._values[idx])
+
+    def __repr__(self) -> str:
+        steps = ", ".join(
+            f"{t:g}:{v:g}" for t, v in zip(self._times, self._values)
+        )
+        return f"CapacityTimeline(capacity={self._capacity:g}, [{steps}])"

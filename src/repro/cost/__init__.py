@@ -1,0 +1,45 @@
+"""Cost criteria for selecting the next communication step (paper §4.8)."""
+
+from repro.cost.criteria import (
+    Cost1,
+    Cost2,
+    Cost3,
+    Cost4,
+    CostCriterion,
+    CostResult,
+    criterion_names,
+    get_criterion,
+    register_criterion,
+)
+from repro.cost.terms import (
+    URGENCY_EPSILON,
+    DestinationEvaluation,
+    evaluate_destination,
+    most_urgent_satisfiable,
+)
+from repro.cost.weights import (
+    PAPER_LOG_RATIOS,
+    EUWeights,
+    as_weights,
+    paper_sweep,
+)
+
+__all__ = [
+    "Cost1",
+    "Cost2",
+    "Cost3",
+    "Cost4",
+    "CostCriterion",
+    "CostResult",
+    "DestinationEvaluation",
+    "EUWeights",
+    "PAPER_LOG_RATIOS",
+    "URGENCY_EPSILON",
+    "as_weights",
+    "criterion_names",
+    "evaluate_destination",
+    "get_criterion",
+    "most_urgent_satisfiable",
+    "paper_sweep",
+    "register_criterion",
+]

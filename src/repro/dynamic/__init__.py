@@ -1,0 +1,28 @@
+"""Dynamic data staging: event-driven re-scheduling (the paper's §6 future
+work) — request arrivals over time and copy-loss fault injection."""
+
+from repro.dynamic.driver import (
+    DynamicDriver,
+    DynamicResult,
+    EventOutcome,
+    reveal_at_item_start,
+)
+from repro.dynamic.events import (
+    CopyLoss,
+    Event,
+    LinkOutage,
+    RequestArrival,
+    sorted_events,
+)
+
+__all__ = [
+    "CopyLoss",
+    "DynamicDriver",
+    "DynamicResult",
+    "Event",
+    "LinkOutage",
+    "EventOutcome",
+    "RequestArrival",
+    "reveal_at_item_start",
+    "sorted_events",
+]

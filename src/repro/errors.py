@@ -1,0 +1,66 @@
+"""Exception hierarchy for the data-staging library.
+
+Every error raised by the library derives from :class:`DataStagingError` so
+callers can catch the whole family with a single ``except`` clause.  More
+specific subclasses distinguish modelling mistakes (bad input data) from
+scheduling-time violations (a schedule that breaks a resource constraint).
+"""
+
+from __future__ import annotations
+
+
+class DataStagingError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(DataStagingError):
+    """An entity of the mathematical model was constructed inconsistently.
+
+    Examples: a virtual link whose window ends before it starts, a request
+    whose destination machine does not exist, a negative data-item size.
+    """
+
+
+class ScenarioError(ModelError):
+    """A scenario failed cross-entity validation.
+
+    Raised by :meth:`repro.core.scenario.Scenario.validate` when the network,
+    data-location table, and request table are mutually inconsistent (e.g. a
+    request references an unknown data item).
+    """
+
+
+class CapacityError(DataStagingError):
+    """A storage reservation would drive a machine's free capacity negative."""
+
+
+class LinkBusyError(DataStagingError):
+    """A transfer was booked onto a virtual link interval that is occupied."""
+
+
+class InfeasibleTransferError(DataStagingError):
+    """A requested communication step cannot be realized at all.
+
+    Raised when no start time inside the link's availability window satisfies
+    the busy-interval, capacity, and sender-residency constraints.
+    """
+
+
+class ValidationError(DataStagingError):
+    """An emitted schedule violates one of the model's feasibility rules.
+
+    Raised by :class:`repro.core.validation.ScheduleValidator`; the message
+    identifies the offending communication step and the violated constraint.
+    """
+
+
+class ConfigurationError(DataStagingError):
+    """A generator or experiment configuration is out of its legal range."""
+
+
+class SchedulingError(DataStagingError):
+    """A heuristic reached an internal state that should be impossible.
+
+    This signals a bug in the scheduler rather than bad user input: e.g. a
+    shortest-path tree claimed an arrival time that the state refused to book.
+    """

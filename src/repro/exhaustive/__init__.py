@@ -1,0 +1,10 @@
+"""Bounded exhaustive search — an exact-over-policy-class quality anchor
+for the heuristics on tiny instances."""
+
+from repro.exhaustive.search import (
+    ExhaustiveSearch,
+    SearchLimits,
+    SearchResult,
+)
+
+__all__ = ["ExhaustiveSearch", "SearchLimits", "SearchResult"]

@@ -1,0 +1,222 @@
+"""Bounded exhaustive search over valid communication-step sequences.
+
+The paper argues that enumerating *all* schedules is intractable at
+realistic sizes (§5.1) and therefore evaluates the heuristics only against
+bounds.  For *tiny* instances, however, an exact-over-policy-class search
+is affordable and gives a much tighter quality anchor: this module
+explores **every** sequence of valid next communication steps — the same
+move set the partial path heuristic chooses greedily from — with
+branch-and-bound pruning, and returns the best schedule found.
+
+Scope of optimality (documented, deliberate): each explored move books a
+transfer at its *earliest feasible time* along a current shortest-path
+tree, exactly like the heuristics.  Schedules that gain by idling a
+resource past its earliest feasible slot, or by routing off every
+shortest-path tree, are outside the search space.  Within that policy
+class the search is exhaustive, so its value dominates all three
+heuristics, the random baselines, and the priority-tier scheme by
+construction — making it a valid measured upper anchor between the
+heuristics and ``possible_satisfy``.
+
+Search controls keep worst cases bounded: an expansion budget, a wall-time
+budget, and transposition pruning on the set of booked transfers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Set, Tuple
+
+from repro.core.evaluation import evaluate_satisfied
+from repro.core.scenario import Scenario
+from repro.core.schedule import Schedule, ScheduleEffect
+from repro.core.state import NetworkState, TransferPlan
+from repro.errors import ConfigurationError
+from repro.heuristics.base import EngineStats, TreeCache
+from repro.heuristics.candidates import enumerate_groups
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Budgets bounding the exhaustive search.
+
+    Attributes:
+        max_expansions: maximum number of explored tree nodes.
+        time_limit_seconds: wall-clock budget.
+    """
+
+    max_expansions: int = 100_000
+    time_limit_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_expansions < 1:
+            raise ConfigurationError(
+                f"max_expansions must be >= 1, got {self.max_expansions}"
+            )
+        if self.time_limit_seconds <= 0:
+            raise ConfigurationError(
+                f"time_limit_seconds must be > 0, got "
+                f"{self.time_limit_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one exhaustive search.
+
+    Attributes:
+        schedule: the best schedule found.
+        effect: its scored satisfaction set.
+        expansions: explored search-tree nodes.
+        complete: ``True`` when the search space was fully explored within
+            budget (the result is exact for the policy class); ``False``
+            when a budget cut exploration short (still a valid schedule,
+            no optimality claim).
+    """
+
+    schedule: Schedule
+    effect: ScheduleEffect
+    expansions: int
+    complete: bool
+
+    @property
+    def weighted_sum(self) -> float:
+        """The best found weighted priority sum."""
+        return self.effect.weighted_sum
+
+
+class ExhaustiveSearch:
+    """Depth-first branch-and-bound over candidate communication steps.
+
+    Args:
+        limits: expansion/time budgets (defaults suit "tiny" scenarios of
+            a handful of requests; see :meth:`solve`).
+    """
+
+    def __init__(self, limits: Optional[SearchLimits] = None) -> None:
+        self._limits = limits if limits is not None else SearchLimits()
+
+    def solve(self, scenario: Scenario) -> SearchResult:
+        """Search the scenario's step-sequence space for the best schedule.
+
+        Intended for instances of roughly a dozen requests or fewer; the
+        branching factor is the number of candidate groups per state and
+        depth is the total hop count, so cost grows factorially with
+        instance size.  Budgets make larger calls safe but inexact
+        (``complete=False``).
+        """
+        started = time.perf_counter()
+        self._deadline = started + self._limits.time_limit_seconds
+        self._expansions = 0
+        self._complete = True
+        self._best_value = -1.0
+        self._best_schedule: Optional[Schedule] = None
+        self._seen: Set[FrozenSet[Tuple[int, int, float]]] = set()
+
+        root = NetworkState(scenario, schedule_name="exhaustive")
+        self._explore(root, frozenset())
+
+        schedule = (
+            self._best_schedule
+            if self._best_schedule is not None
+            else root.schedule
+        )
+        return SearchResult(
+            schedule=schedule,
+            effect=evaluate_satisfied(
+                scenario, schedule.satisfied_request_ids()
+            ),
+            expansions=self._expansions,
+            complete=self._complete,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _explore(
+        self,
+        state: NetworkState,
+        signature: FrozenSet[Tuple[int, int, float]],
+    ) -> None:
+        if self._expansions >= self._limits.max_expansions or (
+            time.perf_counter() > self._deadline
+        ):
+            self._complete = False
+            return
+        self._expansions += 1
+
+        scenario = state.scenario
+        current_value = sum(
+            scenario.weighting.weight(
+                scenario.request(request_id).priority
+            )
+            for request_id in state.satisfied_request_ids()
+        )
+        if current_value > self._best_value:
+            self._best_value = current_value
+            self._best_schedule = state.clone().schedule
+
+        stats = EngineStats()
+        cache = TreeCache(state, stats, enabled=True)
+        moves = []
+        optimistic = current_value
+        for item_id in scenario.requested_item_ids():
+            if not state.unsatisfied_requests_for_item(item_id):
+                continue
+            tree = cache.tree_for(item_id)
+            groups = enumerate_groups(
+                state, item_id, tree, scenario.weighting
+            )
+            moves.extend(groups)
+            # Admissible bound: every currently satisfiable unsatisfied
+            # request might still be delivered.
+            counted = set()
+            for group in groups:
+                for evaluation in group.evaluations:
+                    request = evaluation.request
+                    if evaluation.satisfiable and (
+                        request.request_id not in counted
+                    ):
+                        counted.add(request.request_id)
+                        optimistic += scenario.weighting.weight(
+                            request.priority
+                        )
+        if not moves:
+            return
+        if optimistic <= self._best_value:
+            return  # bound: even satisfying everything reachable cannot win
+
+        # Order moves by immediate satisfiable value (helps the bound fire
+        # early), then deterministically.
+        def move_key(group):
+            value = sum(
+                e.effective_priority for e in group.evaluations
+            )
+            return (-value, group.tie_break_key())
+
+        for group in sorted(moves, key=move_key):
+            hop = group.first_hop
+            child_signature = signature | {
+                (group.item_id, hop.link_id, hop.start)
+            }
+            if child_signature in self._seen:
+                continue
+            self._seen.add(child_signature)
+            child = state.clone()
+            link = scenario.network.link(hop.link_id)
+            child.book_transfer(
+                TransferPlan(
+                    item_id=group.item_id,
+                    link=link,
+                    start=hop.start,
+                    end=hop.end,
+                    release=child.release_time_at(
+                        group.item_id, hop.receiver
+                    ),
+                )
+            )
+            self._explore(child, child_signature)
+            if not self._complete and (
+                time.perf_counter() > self._deadline
+            ):
+                return

@@ -1,0 +1,113 @@
+"""Experiment harness: runs, sweeps, aggregation, figure/table producers."""
+
+from repro.experiments.aggregate import (
+    Aggregate,
+    aggregate_records,
+    mean_by_scheduler,
+    per_priority_totals,
+    stddev,
+)
+from repro.experiments.congestion import (
+    EXTENDED_WEIGHTINGS,
+    CongestionPoint,
+    WeightingPoint,
+    congestion_sweep,
+    weighting_sweep,
+)
+from repro.experiments.crossover import (
+    Crossover,
+    SeriesPeak,
+    figure_peaks,
+    find_crossovers,
+    ratio_sensitivity,
+    series_peak,
+)
+from repro.experiments.figures import (
+    FIGURE_CRITERIA,
+    FigureData,
+    Series,
+    figure2,
+    heuristic_figure,
+)
+from repro.experiments.report import (
+    REPORT_SECTIONS,
+    ReportSection,
+    build_report,
+)
+from repro.experiments.runner import (
+    RunRecord,
+    record_result,
+    run_pair,
+    run_scheduler,
+)
+from repro.experiments.scale import (
+    CI_LOG_RATIOS,
+    SCALE_ENV_VAR,
+    ExperimentScale,
+    current_scale,
+    scale_by_name,
+)
+from repro.experiments.studies import (
+    RuntimeRow,
+    TierComparison,
+    WeightingOutcome,
+    priority_tier_comparison,
+    regenerate_under_weighting,
+    runtime_study,
+    weighting_comparison,
+)
+from repro.experiments.sweep import (
+    resolve_ratios,
+    sweep_all_criteria,
+    sweep_pair,
+)
+from repro.experiments.tables import render_figure, render_minmax, render_table
+
+__all__ = [
+    "Aggregate",
+    "CI_LOG_RATIOS",
+    "CongestionPoint",
+    "Crossover",
+    "EXTENDED_WEIGHTINGS",
+    "ExperimentScale",
+    "FIGURE_CRITERIA",
+    "FigureData",
+    "REPORT_SECTIONS",
+    "ReportSection",
+    "RunRecord",
+    "RuntimeRow",
+    "SCALE_ENV_VAR",
+    "Series",
+    "SeriesPeak",
+    "TierComparison",
+    "WeightingOutcome",
+    "WeightingPoint",
+    "aggregate_records",
+    "build_report",
+    "congestion_sweep",
+    "current_scale",
+    "figure2",
+    "figure_peaks",
+    "find_crossovers",
+    "heuristic_figure",
+    "mean_by_scheduler",
+    "per_priority_totals",
+    "priority_tier_comparison",
+    "ratio_sensitivity",
+    "record_result",
+    "regenerate_under_weighting",
+    "render_figure",
+    "render_minmax",
+    "render_table",
+    "resolve_ratios",
+    "run_pair",
+    "run_scheduler",
+    "runtime_study",
+    "scale_by_name",
+    "series_peak",
+    "stddev",
+    "sweep_all_criteria",
+    "sweep_pair",
+    "weighting_comparison",
+    "weighting_sweep",
+]

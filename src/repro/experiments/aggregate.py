@@ -1,0 +1,113 @@
+"""Aggregation of run records across test cases (the paper's 40-case means).
+
+Every data point in Figures 2–5 is the mean over the same randomly
+generated test cases; the companion TR also reports the per-case minimum
+and maximum.  :class:`Aggregate` carries all three plus the count, and
+:func:`aggregate_records` folds any record collection down by key.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.experiments.runner import RunRecord
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Summary statistics of one metric over a set of runs.
+
+    Attributes:
+        mean: arithmetic mean.
+        minimum: smallest observed value.
+        maximum: largest observed value.
+        count: number of runs aggregated.
+    """
+
+    mean: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Aggregate":
+        """Aggregate a non-empty value sequence.
+
+        Raises:
+            ValueError: for an empty sequence.
+        """
+        if not values:
+            raise ValueError("cannot aggregate zero values")
+        return cls(
+            mean=sum(values) / len(values),
+            minimum=min(values),
+            maximum=max(values),
+            count=len(values),
+        )
+
+    @property
+    def spread(self) -> float:
+        """``maximum − minimum``."""
+        return self.maximum - self.minimum
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.1f} (min {self.minimum:.1f}, "
+            f"max {self.maximum:.1f}, n={self.count})"
+        )
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(variance)
+
+
+def aggregate_records(
+    records: Iterable[RunRecord],
+    key: Callable[[RunRecord], Tuple],
+    metric: Callable[[RunRecord], float] = lambda r: r.weighted_sum,
+) -> Dict[Tuple, Aggregate]:
+    """Group records by ``key`` and aggregate ``metric`` within each group."""
+    grouped: Dict[Tuple, List[float]] = {}
+    for record in records:
+        grouped.setdefault(key(record), []).append(metric(record))
+    return {k: Aggregate.of(values) for k, values in grouped.items()}
+
+
+def mean_by_scheduler(
+    records: Iterable[RunRecord],
+) -> Dict[Tuple[str, str], Aggregate]:
+    """Aggregate weighted sums by ``(scheduler, eu_label)``."""
+    return aggregate_records(records, key=lambda r: (r.scheduler, r.eu_label))
+
+
+def per_priority_totals(
+    records: Sequence[RunRecord],
+) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """Mean satisfied and total counts per priority class across records.
+
+    Raises:
+        ValueError: when records disagree on the number of priority classes
+            or the sequence is empty.
+    """
+    if not records:
+        raise ValueError("cannot summarize zero records")
+    classes = {len(r.satisfied_by_priority) for r in records}
+    if len(classes) != 1:
+        raise ValueError(f"inconsistent priority class counts: {classes}")
+    width = classes.pop()
+    satisfied = tuple(
+        sum(r.satisfied_by_priority[p] for r in records) / len(records)
+        for p in range(width)
+    )
+    totals = tuple(
+        sum(r.total_by_priority[p] for r in records) / len(records)
+        for p in range(width)
+    )
+    return satisfied, totals

@@ -1,0 +1,198 @@
+"""Network-congestion study — the paper's stated future work (§6).
+
+"Future work will explore how the heuristics perform when varying the
+congestion of the network and when additional priority weighting schemes
+are considered."  This module implements both sweeps:
+
+* :func:`congestion_sweep` — scale the request volume (the §5.3
+  "20–40 × machines" multiplier) and track how each scheduler's weighted
+  sum and satisfaction rate degrade relative to the bounds;
+* :func:`weighting_sweep` — evaluate one scheduler under a family of
+  priority weightings (e.g. flat, linear, the paper's two, and steeper)
+  on the same cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from repro.baselines.bounds import possible_satisfy, upper_bound
+from repro.core.priority import PriorityWeighting
+from repro.cost.weights import EUWeights, as_weights
+from repro.errors import ConfigurationError
+from repro.experiments.aggregate import Aggregate
+from repro.experiments.runner import run_pair
+from repro.workload.config import GeneratorConfig
+from repro.workload.generator import ScenarioGenerator
+
+#: Weighting families for the weighting sweep: the paper's two schemes
+#: plus a flat, a linear, and an extreme scheme.
+EXTENDED_WEIGHTINGS: Tuple[PriorityWeighting, ...] = (
+    PriorityWeighting((1, 1, 1), name="flat"),
+    PriorityWeighting((1, 2, 3), name="linear"),
+    PriorityWeighting((1, 5, 10), name="1-5-10"),
+    PriorityWeighting((1, 10, 100), name="1-10-100"),
+    PriorityWeighting((1, 100, 10_000), name="extreme"),
+)
+
+
+@dataclass(frozen=True)
+class CongestionPoint:
+    """Results at one request-volume multiplier.
+
+    Attributes:
+        requests_per_machine: the (fixed) request multiplier of the point.
+        mean_requests: mean request count across the cases.
+        weighted_sum: achieved weighted priority sum (aggregate over cases).
+        satisfaction_rate: achieved fraction of requests satisfied.
+        possible_fraction: ``possible_satisfy / upper_bound`` — how
+            oversubscribed the generated networks are.
+        achieved_fraction: achieved weighted sum / possible_satisfy —
+            how much of the achievable value the scheduler captured.
+    """
+
+    requests_per_machine: int
+    mean_requests: float
+    weighted_sum: Aggregate
+    satisfaction_rate: Aggregate
+    possible_fraction: Aggregate
+    achieved_fraction: Aggregate
+
+
+def congestion_sweep(
+    multipliers: Sequence[int],
+    cases: int = 10,
+    base_seed: int = 0,
+    base_config: GeneratorConfig = None,
+    heuristic: str = "full_one",
+    criterion: str = "C4",
+    weights: Union[float, EUWeights] = 2.0,
+) -> List[CongestionPoint]:
+    """Sweep the request-volume multiplier and measure degradation.
+
+    Args:
+        multipliers: request-per-machine values (the §5.3 range is 20–40).
+        cases: random cases per point (seeds shared across points so only
+            the volume changes).
+        base_seed: first case seed.
+        base_config: configuration template (defaults to the paper's).
+        heuristic / criterion / weights: the scheduler under study.
+
+    Raises:
+        ConfigurationError: for an empty multiplier list.
+    """
+    if not multipliers:
+        raise ConfigurationError("congestion sweep needs at least one point")
+    template = base_config if base_config is not None else GeneratorConfig.paper()
+    eu = as_weights(weights)
+    points = []
+    for multiplier in multipliers:
+        config = template.replace(
+            requests_per_machine=(multiplier, multiplier)
+        )
+        generator = ScenarioGenerator(config)
+        weighted, rates, possible_fracs, achieved_fracs, request_counts = (
+            [],
+            [],
+            [],
+            [],
+            [],
+        )
+        for offset in range(cases):
+            scenario = generator.generate(base_seed + offset)
+            record = run_pair(scenario, heuristic, criterion, eu)
+            upper = upper_bound(scenario)
+            possible = possible_satisfy(scenario)
+            weighted.append(record.weighted_sum)
+            rates.append(
+                record.satisfied_count / scenario.request_count
+                if scenario.request_count
+                else 0.0
+            )
+            possible_fracs.append(possible / upper if upper else 0.0)
+            achieved_fracs.append(
+                record.weighted_sum / possible if possible else 1.0
+            )
+            request_counts.append(float(scenario.request_count))
+        points.append(
+            CongestionPoint(
+                requests_per_machine=multiplier,
+                mean_requests=sum(request_counts) / len(request_counts),
+                weighted_sum=Aggregate.of(weighted),
+                satisfaction_rate=Aggregate.of(rates),
+                possible_fraction=Aggregate.of(possible_fracs),
+                achieved_fraction=Aggregate.of(achieved_fracs),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class WeightingPoint:
+    """Results under one priority weighting.
+
+    Attributes:
+        weighting: the weighting's display name.
+        weighted_sum: achieved weighted sum (aggregate over cases) —
+            note: *not* comparable across weightings in absolute terms.
+        satisfied_by_priority: mean satisfied count per class.
+        high_priority_rate: fraction of highest-priority requests
+            satisfied (the cross-weighting comparable metric).
+    """
+
+    weighting: str
+    weighted_sum: Aggregate
+    satisfied_by_priority: Tuple[float, ...]
+    high_priority_rate: float
+
+
+def weighting_sweep(
+    weightings: Sequence[PriorityWeighting] = EXTENDED_WEIGHTINGS,
+    cases: int = 10,
+    base_seed: int = 0,
+    base_config: GeneratorConfig = None,
+    heuristic: str = "full_one",
+    criterion: str = "C4",
+    weights: Union[float, EUWeights] = 2.0,
+) -> List[WeightingPoint]:
+    """Evaluate one scheduler under several priority weightings.
+
+    The same case seeds are regenerated per weighting, so request
+    priorities, deadlines, and topologies are identical — only the
+    scheduler's valuation of the priority classes changes.
+    """
+    if not weightings:
+        raise ConfigurationError("weighting sweep needs at least one scheme")
+    template = base_config if base_config is not None else GeneratorConfig.paper()
+    eu = as_weights(weights)
+    points = []
+    for weighting in weightings:
+        generator = ScenarioGenerator(template, weighting=weighting)
+        sums = []
+        satisfied_acc = None
+        high_satisfied = 0
+        high_total = 0
+        for offset in range(cases):
+            scenario = generator.generate(base_seed + offset)
+            record = run_pair(scenario, heuristic, criterion, eu)
+            sums.append(record.weighted_sum)
+            if satisfied_acc is None:
+                satisfied_acc = [0.0] * len(record.satisfied_by_priority)
+            for index, count in enumerate(record.satisfied_by_priority):
+                satisfied_acc[index] += count
+            high_satisfied += record.satisfied_by_priority[-1]
+            high_total += record.total_by_priority[-1]
+        points.append(
+            WeightingPoint(
+                weighting=weighting.name,
+                weighted_sum=Aggregate.of(sums),
+                satisfied_by_priority=tuple(
+                    total / cases for total in satisfied_acc
+                ),
+                high_priority_rate=(
+                    high_satisfied / high_total if high_total else 0.0
+                ),
+            )
+        )
+    return points

@@ -1,0 +1,122 @@
+"""Series analysis over the E-U grid: peaks, crossovers, sensitivity.
+
+The paper's figures are read qualitatively — *where a criterion peaks*,
+*where two criteria cross*, *how much the ratio matters*.  These helpers
+extract those reading-level facts from a
+:class:`~repro.experiments.figures.FigureData` so EXPERIMENTS.md claims
+("the heuristics rise toward mid ratios", "C1 and C4 cross near
+log₁₀(E-U)=1") can be computed instead of eyeballed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.figures import FigureData, Series
+
+
+@dataclass(frozen=True)
+class SeriesPeak:
+    """Where one series attains its maximum.
+
+    Attributes:
+        series: the series name.
+        label: the E-U grid label of the (first) maximum.
+        value: the maximum mean value.
+        flat: ``True`` when every grid point has the same value
+            (E-U-independent series such as C3 and the bounds).
+    """
+
+    series: str
+    label: str
+    value: float
+    flat: bool
+
+
+def series_peak(series: Series) -> SeriesPeak:
+    """The (first) maximum of one series across the grid."""
+    values = series.values()
+    best_index = max(range(len(values)), key=lambda i: values[i])
+    return SeriesPeak(
+        series=series.name,
+        label=series.points[best_index][0],
+        value=values[best_index],
+        flat=len(set(values)) == 1,
+    )
+
+
+def figure_peaks(figure: FigureData) -> List[SeriesPeak]:
+    """Peaks of every series in a figure, in figure order."""
+    return [series_peak(series) for series in figure.series]
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """A sign change of ``A − B`` between adjacent grid points.
+
+    Attributes:
+        first: name of series A.
+        second: name of series B.
+        left_label: grid label before the crossing.
+        right_label: grid label after the crossing.
+        left_gap: ``A − B`` at the left point.
+        right_gap: ``A − B`` at the right point.
+    """
+
+    first: str
+    second: str
+    left_label: str
+    right_label: str
+    left_gap: float
+    right_gap: float
+
+
+def find_crossovers(
+    figure: FigureData, first: str, second: str
+) -> Tuple[Crossover, ...]:
+    """All grid intervals where two series swap order.
+
+    Exact ties at a grid point are treated as part of the following
+    interval (a tie then divergence reports one crossover).
+    """
+    series_a = figure.by_name(first)
+    series_b = figure.by_name(second)
+    gaps = [
+        a - b for a, b in zip(series_a.values(), series_b.values())
+    ]
+    labels = list(figure.x_labels)
+    crossovers = []
+    previous_sign = 0
+    previous_index = 0
+    for index, gap in enumerate(gaps):
+        sign = (gap > 0) - (gap < 0)
+        if sign == 0:
+            continue
+        if previous_sign != 0 and sign != previous_sign:
+            crossovers.append(
+                Crossover(
+                    first=first,
+                    second=second,
+                    left_label=labels[previous_index],
+                    right_label=labels[index],
+                    left_gap=gaps[previous_index],
+                    right_gap=gap,
+                )
+            )
+        previous_sign = sign
+        previous_index = index
+    return tuple(crossovers)
+
+
+def ratio_sensitivity(series: Series) -> float:
+    """Relative swing of a series across the grid: ``(max−min)/max``.
+
+    0.0 for flat (E-U-independent) series; larger values mean choosing the
+    E-U ratio matters more for this scheduler.
+    """
+    values = series.values()
+    top = max(values)
+    if top == 0:
+        return 0.0
+    return (top - min(values)) / top

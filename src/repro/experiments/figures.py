@@ -1,0 +1,227 @@
+"""Data producers for the paper's Figures 2–5.
+
+Each function returns a :class:`FigureData`: named series of (E-U label,
+mean weighted priority sum) points averaged over the supplied test cases —
+the exact content of the corresponding paper figure.  Rendering (ASCII
+tables here; any plotting library downstream) is separate, in
+:mod:`repro.experiments.tables`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.baselines.bounds import possible_satisfy, upper_bound
+from repro.baselines.random_dijkstra import RandomDijkstraBaseline
+from repro.baselines.single_dijkstra_random import SingleDijkstraRandomBaseline
+from repro.core.scenario import Scenario
+from repro.cost.weights import PAPER_LOG_RATIOS, EUWeights
+from repro.errors import ConfigurationError
+from repro.experiments.aggregate import Aggregate, aggregate_records
+from repro.experiments.runner import RunRecord, run_scheduler
+from repro.experiments.sweep import resolve_ratios, sweep_pair
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: a name plus (E-U label, aggregate) points."""
+
+    name: str
+    points: Tuple[Tuple[str, Aggregate], ...]
+
+    def values(self) -> Tuple[float, ...]:
+        """The mean values in grid order."""
+        return tuple(aggregate.mean for _, aggregate in self.points)
+
+    def point(self, label: str) -> Aggregate:
+        """The aggregate at one E-U label.
+
+        Raises:
+            KeyError: if the label is not on the grid.
+        """
+        for point_label, aggregate in self.points:
+            if point_label == label:
+                return aggregate
+        raise KeyError(f"no point labelled {label!r} in series {self.name!r}")
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """All series of one figure, plus identification metadata."""
+
+    figure_id: str
+    title: str
+    x_labels: Tuple[str, ...]
+    series: Tuple[Series, ...]
+
+    def by_name(self, name: str) -> Series:
+        """Look a series up by name.
+
+        Raises:
+            KeyError: for unknown series names.
+        """
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(
+            f"{self.figure_id} has no series {name!r}; "
+            f"known: {[s.name for s in self.series]}"
+        )
+
+
+#: Criteria plotted per heuristic figure (C1 is excluded from full_all).
+FIGURE_CRITERIA: Dict[str, Tuple[str, ...]] = {
+    "partial": ("C1", "C2", "C3", "C4"),
+    "full_one": ("C1", "C2", "C3", "C4"),
+    "full_all": ("C2", "C3", "C4"),
+}
+
+_FIGURE_IDS = {"partial": "figure3", "full_one": "figure4", "full_all": "figure5"}
+
+
+def _series_from_records(
+    name: str,
+    records: Sequence[RunRecord],
+    x_labels: Sequence[str],
+) -> Series:
+    by_label = aggregate_records(records, key=lambda r: (r.eu_label,))
+    points = []
+    for label in x_labels:
+        if (label,) not in by_label:
+            raise ConfigurationError(
+                f"series {name!r} is missing E-U point {label!r}"
+            )
+        points.append((label, by_label[(label,)]))
+    return Series(name=name, points=tuple(points))
+
+
+def _flat_series(
+    name: str, values: Sequence[float], x_labels: Sequence[str]
+) -> Series:
+    aggregate = Aggregate.of(list(values))
+    return Series(
+        name=name, points=tuple((label, aggregate) for label in x_labels)
+    )
+
+
+def heuristic_figure(
+    scenarios: Sequence[Scenario],
+    heuristic: str,
+    ratios: Sequence[Union[float, EUWeights]] = PAPER_LOG_RATIOS,
+) -> FigureData:
+    """Figure 3, 4, or 5: one heuristic, all of its criteria, E-U sweep.
+
+    Args:
+        scenarios: the averaged test cases.
+        heuristic: ``"partial"`` (Fig. 3), ``"full_one"`` (Fig. 4), or
+            ``"full_all"`` (Fig. 5).
+        ratios: the E-U grid (paper grid by default).
+    """
+    if heuristic not in FIGURE_CRITERIA:
+        raise ConfigurationError(
+            f"no per-criterion figure for heuristic {heuristic!r}"
+        )
+    if not scenarios:
+        raise ConfigurationError("a figure needs at least one test case")
+    grid = resolve_ratios(ratios)
+    x_labels = tuple(weights.label() for weights in grid)
+    series = []
+    for criterion in FIGURE_CRITERIA[heuristic]:
+        records = sweep_pair(scenarios, heuristic, criterion, grid)
+        series.append(
+            _series_from_records(
+                f"{heuristic}/{criterion}", records, x_labels
+            )
+        )
+    return FigureData(
+        figure_id=_FIGURE_IDS[heuristic],
+        title=(
+            f"{heuristic} heuristic, weighting "
+            f"{scenarios[0].weighting if scenarios else ''}, "
+            f"avg of {len(scenarios)} cases"
+        ),
+        x_labels=x_labels,
+        series=tuple(series),
+    )
+
+
+def figure2(
+    scenarios: Sequence[Scenario],
+    ratios: Sequence[Union[float, EUWeights]] = PAPER_LOG_RATIOS,
+    best_criterion: str = "C4",
+    baseline_seed: int = 0,
+) -> FigureData:
+    """Figure 2: best criterion per heuristic versus the §5.2 bounds.
+
+    Series: ``upper_bound``, ``possible_satisfy``, the three heuristics with
+    ``best_criterion``, ``random_Dijkstra``, and ``single_Dij_random``.  The
+    bounds and random baselines are E-U-independent and plot as horizontal
+    lines, exactly as in the paper.
+
+    Args:
+        scenarios: the averaged test cases.
+        ratios: the E-U grid.
+        best_criterion: the criterion driving the heuristic series (the
+            paper found C4 best for every heuristic).
+        baseline_seed: RNG seed offset for the random baselines (case index
+            is added so every case draws differently).
+    """
+    if not scenarios:
+        raise ConfigurationError("a figure needs at least one test case")
+    grid = resolve_ratios(ratios)
+    x_labels = tuple(weights.label() for weights in grid)
+    series: List[Series] = [
+        _flat_series(
+            "upper_bound",
+            [upper_bound(scenario) for scenario in scenarios],
+            x_labels,
+        ),
+        _flat_series(
+            "possible_satisfy",
+            [possible_satisfy(scenario) for scenario in scenarios],
+            x_labels,
+        ),
+    ]
+    for heuristic in ("partial", "full_one", "full_all"):
+        records = sweep_pair(scenarios, heuristic, best_criterion, grid)
+        series.append(
+            _series_from_records(
+                f"{heuristic}/{best_criterion}", records, x_labels
+            )
+        )
+    random_records = [
+        run_scheduler(
+            scenario, RandomDijkstraBaseline(seed=baseline_seed + index)
+        )
+        for index, scenario in enumerate(scenarios)
+    ]
+    series.append(
+        _flat_series(
+            "random_Dijkstra",
+            [record.weighted_sum for record in random_records],
+            x_labels,
+        )
+    )
+    single_records = [
+        run_scheduler(
+            scenario, SingleDijkstraRandomBaseline(seed=baseline_seed + index)
+        )
+        for index, scenario in enumerate(scenarios)
+    ]
+    series.append(
+        _flat_series(
+            "single_Dij_random",
+            [record.weighted_sum for record in single_records],
+            x_labels,
+        )
+    )
+    return FigureData(
+        figure_id="figure2",
+        title=(
+            f"best criterion ({best_criterion}) per heuristic vs bounds, "
+            f"avg of {len(scenarios)} cases"
+        ),
+        x_labels=x_labels,
+        series=tuple(series),
+    )

@@ -1,0 +1,92 @@
+"""Experiment scaling — the ``REPRO_SCALE`` knob shared by all benchmarks.
+
+Three scales, same workload *shape*:
+
+* ``ci`` (default) — a handful of reduced-size cases and a coarse E-U grid;
+  every benchmark finishes in seconds to low minutes.
+* ``full`` — the paper's 40 test cases and full E-U grid, with the reduced
+  request volume (~5–10 requests per machine); this is the scale recorded
+  in EXPERIMENTS.md.
+* ``paper`` — the literal §5.3 parameterization (20–40 requests per
+  machine, 40 cases, full grid); hours of pure-Python CPU.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cost.weights import PAPER_LOG_RATIOS
+from repro.errors import ConfigurationError
+from repro.workload.config import GeneratorConfig
+
+#: Environment variable selecting the experiment scale.
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+#: Coarse E-U grid used at the ``ci`` scale (endpoints plus spread).
+CI_LOG_RATIOS: Tuple[float, ...] = (
+    float("-inf"),
+    -2.0,
+    0.0,
+    2.0,
+    5.0,
+    float("inf"),
+)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """One benchmark scale: case count, generator config, E-U grid.
+
+    Attributes:
+        name: scale identifier (``ci`` / ``full`` / ``paper``).
+        cases: number of random test cases averaged.
+        config: the workload generator configuration.
+        log_ratios: the E-U sweep grid.
+        base_seed: first case seed (cases use consecutive seeds).
+    """
+
+    name: str
+    cases: int
+    config: GeneratorConfig
+    log_ratios: Tuple[float, ...]
+    base_seed: int = 0
+
+
+def scale_by_name(name: str) -> ExperimentScale:
+    """Look up a scale definition.
+
+    Raises:
+        ConfigurationError: for unknown scale names.
+    """
+    key = name.strip().lower()
+    if key == "ci":
+        return ExperimentScale(
+            name="ci",
+            cases=5,
+            config=GeneratorConfig.reduced(),
+            log_ratios=CI_LOG_RATIOS,
+        )
+    if key == "full":
+        return ExperimentScale(
+            name="full",
+            cases=40,
+            config=GeneratorConfig.reduced(),
+            log_ratios=PAPER_LOG_RATIOS,
+        )
+    if key == "paper":
+        return ExperimentScale(
+            name="paper",
+            cases=40,
+            config=GeneratorConfig.paper(),
+            log_ratios=PAPER_LOG_RATIOS,
+        )
+    raise ConfigurationError(
+        f"unknown {SCALE_ENV_VAR} value {name!r}; use ci, full, or paper"
+    )
+
+
+def current_scale() -> ExperimentScale:
+    """The scale selected by ``REPRO_SCALE`` (default ``ci``)."""
+    return scale_by_name(os.environ.get(SCALE_ENV_VAR, "ci"))

@@ -1,0 +1,220 @@
+"""The §5.4 prose comparisons: weighting schemes, priority tiers, runtime.
+
+Three studies back the claims the paper states in text (with full tables in
+the companion TR):
+
+* :func:`weighting_comparison` — the (1,10,100) weighting satisfies more
+  high-priority and fewer medium/low-priority requests than (1,5,10);
+* :func:`priority_tier_comparison` — every heuristic/criterion pair beats
+  the simplified schedule-all-high-first scheme on weighted priority, while
+  the tier scheme trades weighted value for raw high-priority count;
+* :func:`runtime_study` — heuristic execution time and average links
+  traversed per satisfied request for all eleven pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from repro.baselines.priority_tier import PriorityTierScheduler
+from repro.core.priority import (
+    PriorityWeighting,
+    WEIGHTING_1_5_10,
+    WEIGHTING_1_10_100,
+)
+from repro.core.scenario import Scenario
+from repro.cost.weights import EUWeights, as_weights
+from repro.experiments.aggregate import Aggregate, per_priority_totals
+from repro.experiments.runner import RunRecord, run_pair, run_scheduler
+from repro.heuristics.registry import paper_pairings
+from repro.workload.generator import ScenarioGenerator
+
+
+@dataclass(frozen=True)
+class WeightingOutcome:
+    """Per-weighting satisfaction profile of one scheduler.
+
+    Attributes:
+        weighting: the weighting's display name.
+        mean_weighted_sum: mean achieved weighted priority sum.
+        mean_satisfied_by_priority: mean satisfied count per class.
+        mean_total_by_priority: mean request count per class.
+    """
+
+    weighting: str
+    mean_weighted_sum: float
+    mean_satisfied_by_priority: Tuple[float, ...]
+    mean_total_by_priority: Tuple[float, ...]
+
+
+def regenerate_under_weighting(
+    generator: ScenarioGenerator,
+    seeds: Sequence[int],
+    weighting: PriorityWeighting,
+) -> Tuple[Scenario, ...]:
+    """The same test cases (same seeds) under a different weighting."""
+    reweighted = ScenarioGenerator(generator.config, weighting=weighting)
+    return tuple(reweighted.generate(seed) for seed in seeds)
+
+
+def weighting_comparison(
+    generator: ScenarioGenerator,
+    seeds: Sequence[int],
+    heuristic: str = "full_one",
+    criterion: str = "C4",
+    weights: Union[float, EUWeights] = 0.0,
+    weightings: Sequence[PriorityWeighting] = (
+        WEIGHTING_1_5_10,
+        WEIGHTING_1_10_100,
+    ),
+) -> List[WeightingOutcome]:
+    """Run one scheduler on the same cases under each priority weighting.
+
+    Args:
+        generator: supplies the test cases (the weighting is overridden).
+        seeds: the case seeds — identical across weightings so the
+            comparison isolates the weighting's effect.
+        heuristic / criterion / weights: the scheduler under study.
+        weightings: the weighting schemes to compare.
+    """
+    outcomes = []
+    for weighting in weightings:
+        scenarios = regenerate_under_weighting(generator, seeds, weighting)
+        records = [
+            run_pair(scenario, heuristic, criterion, weights)
+            for scenario in scenarios
+        ]
+        satisfied, totals = per_priority_totals(records)
+        outcomes.append(
+            WeightingOutcome(
+                weighting=weighting.name,
+                mean_weighted_sum=Aggregate.of(
+                    [r.weighted_sum for r in records]
+                ).mean,
+                mean_satisfied_by_priority=satisfied,
+                mean_total_by_priority=totals,
+            )
+        )
+    return outcomes
+
+
+@dataclass(frozen=True)
+class TierComparison:
+    """Heuristic-vs-priority-tier outcome on one case set.
+
+    Attributes:
+        scheduler: the cost-driven scheduler's label.
+        heuristic_weighted_sum: its mean weighted priority sum.
+        tier_weighted_sum: the priority-tier scheme's mean weighted sum.
+        heuristic_satisfied_by_priority: mean per-class counts (heuristic).
+        tier_satisfied_by_priority: mean per-class counts (tier scheme).
+        wins: cases where the cost-driven scheduler scored strictly higher.
+        ties: cases with equal weighted sums.
+        cases: total case count.
+    """
+
+    scheduler: str
+    heuristic_weighted_sum: float
+    tier_weighted_sum: float
+    heuristic_satisfied_by_priority: Tuple[float, ...]
+    tier_satisfied_by_priority: Tuple[float, ...]
+    wins: int
+    ties: int
+    cases: int
+
+
+def priority_tier_comparison(
+    scenarios: Sequence[Scenario],
+    heuristic: str = "full_one",
+    criterion: str = "C4",
+    weights: Union[float, EUWeights] = 0.0,
+) -> TierComparison:
+    """Compare one heuristic/criterion pair against the tiered scheme."""
+    eu = as_weights(weights)
+    heuristic_records: List[RunRecord] = []
+    tier_records: List[RunRecord] = []
+    wins = 0
+    ties = 0
+    for scenario in scenarios:
+        h_record = run_pair(scenario, heuristic, criterion, eu)
+        tier = PriorityTierScheduler(
+            heuristic=heuristic, criterion=criterion, weights=eu
+        )
+        t_record = run_scheduler(scenario, tier)
+        heuristic_records.append(h_record)
+        tier_records.append(t_record)
+        if h_record.weighted_sum > t_record.weighted_sum:
+            wins += 1
+        elif h_record.weighted_sum == t_record.weighted_sum:
+            ties += 1
+    h_satisfied, _ = per_priority_totals(heuristic_records)
+    t_satisfied, _ = per_priority_totals(tier_records)
+    return TierComparison(
+        scheduler=f"{heuristic}/{criterion}",
+        heuristic_weighted_sum=Aggregate.of(
+            [r.weighted_sum for r in heuristic_records]
+        ).mean,
+        tier_weighted_sum=Aggregate.of(
+            [r.weighted_sum for r in tier_records]
+        ).mean,
+        heuristic_satisfied_by_priority=h_satisfied,
+        tier_satisfied_by_priority=t_satisfied,
+        wins=wins,
+        ties=ties,
+        cases=len(scenarios),
+    )
+
+
+@dataclass(frozen=True)
+class RuntimeRow:
+    """Mean runtime metrics of one heuristic/criterion pair.
+
+    Attributes:
+        scheduler: the pair's label.
+        elapsed: mean wall-clock scheduling seconds per case.
+        dijkstra_runs: mean shortest-path-tree computations per case.
+        steps: mean communication steps booked per case.
+        average_hops: mean links traversed per satisfied request.
+    """
+
+    scheduler: str
+    elapsed: Aggregate
+    dijkstra_runs: Aggregate
+    steps: Aggregate
+    average_hops: Aggregate
+
+
+def runtime_study(
+    scenarios: Sequence[Scenario],
+    weights: Union[float, EUWeights] = 0.0,
+    pairings: Sequence[Tuple[str, str]] = (),
+) -> List[RuntimeRow]:
+    """Execution time and links traversed for every heuristic/criterion pair.
+
+    Args:
+        scenarios: the test cases.
+        weights: the E-U point at which the pairs are compared.
+        pairings: optional subset; defaults to the paper's eleven pairs.
+    """
+    pairs = tuple(pairings) or paper_pairings()
+    rows = []
+    for heuristic, criterion in pairs:
+        records = [
+            run_pair(scenario, heuristic, criterion, weights)
+            for scenario in scenarios
+        ]
+        rows.append(
+            RuntimeRow(
+                scheduler=f"{heuristic}/{criterion}",
+                elapsed=Aggregate.of([r.elapsed_seconds for r in records]),
+                dijkstra_runs=Aggregate.of(
+                    [float(r.dijkstra_runs) for r in records]
+                ),
+                steps=Aggregate.of([float(r.steps) for r in records]),
+                average_hops=Aggregate.of(
+                    [r.average_hops for r in records]
+                ),
+            )
+        )
+    return rows

@@ -1,0 +1,71 @@
+"""E-U ratio sweeps — the x-axis of Figures 2 through 5.
+
+A sweep runs one heuristic/criterion pair over every test case at every
+E-U grid point.  E-U-independent criteria (C3) are executed once per case
+and their records replicated across the grid, exactly as the paper plots
+them (a horizontal line).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple, Union
+
+from repro.core.scenario import Scenario
+from repro.cost.criteria import CostCriterion, get_criterion
+from repro.cost.weights import PAPER_LOG_RATIOS, EUWeights, as_weights
+from repro.experiments.runner import RunRecord, run_pair
+
+
+def resolve_ratios(
+    ratios: Sequence[Union[float, EUWeights]] = PAPER_LOG_RATIOS,
+) -> Tuple[EUWeights, ...]:
+    """Normalize a ratio grid to concrete weight pairs."""
+    return tuple(as_weights(ratio) for ratio in ratios)
+
+
+def sweep_pair(
+    scenarios: Sequence[Scenario],
+    heuristic: str,
+    criterion: Union[str, CostCriterion],
+    ratios: Sequence[Union[float, EUWeights]] = PAPER_LOG_RATIOS,
+) -> List[RunRecord]:
+    """All (scenario × E-U point) records for one heuristic/criterion pair.
+
+    Args:
+        scenarios: the test cases (the paper's 40 random cases).
+        heuristic: heuristic registry name.
+        criterion: criterion registry name or instance.
+        ratios: the E-U grid; ignored (but still labelling the output) for
+            E-U-independent criteria.
+    """
+    if isinstance(criterion, str):
+        criterion = get_criterion(criterion)
+    grid = resolve_ratios(ratios)
+    records: List[RunRecord] = []
+    for scenario in scenarios:
+        if criterion.eu_independent:
+            base = run_pair(scenario, heuristic, criterion, grid[0])
+            records.extend(
+                dataclasses.replace(base, eu_label=weights.label())
+                for weights in grid
+            )
+        else:
+            records.extend(
+                run_pair(scenario, heuristic, criterion, weights)
+                for weights in grid
+            )
+    return records
+
+
+def sweep_all_criteria(
+    scenarios: Sequence[Scenario],
+    heuristic: str,
+    criteria: Sequence[Union[str, CostCriterion]],
+    ratios: Sequence[Union[float, EUWeights]] = PAPER_LOG_RATIOS,
+) -> List[RunRecord]:
+    """Concatenated sweeps of several criteria for one heuristic."""
+    records: List[RunRecord] = []
+    for criterion in criteria:
+        records.extend(sweep_pair(scenarios, heuristic, criterion, ratios))
+    return records

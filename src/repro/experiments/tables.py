@@ -1,0 +1,96 @@
+"""Plain-text rendering of figures and tables.
+
+The benchmark harness prints every reproduced figure as an aligned ASCII
+table (series × E-U grid) so results are inspectable without a plotting
+stack; the same renderer serves the §5.4 comparison tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.figures import FigureData
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Align ``rows`` under ``headers`` with a box of dashes.
+
+    All cells are rendered right-aligned except the first column.
+    """
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    widths = [
+        max(len(str(headers[c])), *(len(str(row[c])) for row in rows))
+        if rows
+        else len(str(headers[c]))
+        for c in range(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(headers[c]).ljust(widths[c])
+        if c == 0
+        else str(headers[c]).rjust(widths[c])
+        for c in range(columns)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                str(row[c]).ljust(widths[c])
+                if c == 0
+                else str(row[c]).rjust(widths[c])
+                for c in range(columns)
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureData, precision: int = 1) -> str:
+    """Render a :class:`FigureData` as one row per series.
+
+    Columns are the E-U grid labels; cells are mean weighted priority sums
+    over the figure's test cases.
+    """
+    headers = ["series"] + list(figure.x_labels)
+    rows = []
+    for series in figure.series:
+        rows.append(
+            [series.name]
+            + [f"{value:.{precision}f}" for value in series.values()]
+        )
+    return render_table(
+        headers, rows, title=f"{figure.figure_id}: {figure.title}"
+    )
+
+
+def render_minmax(figure: FigureData, label: str) -> str:
+    """Render min/mean/max of every series at one E-U grid point."""
+    headers = ["series", "min", "mean", "max", "cases"]
+    rows = []
+    for series in figure.series:
+        aggregate = series.point(label)
+        rows.append(
+            [
+                series.name,
+                f"{aggregate.minimum:.1f}",
+                f"{aggregate.mean:.1f}",
+                f"{aggregate.maximum:.1f}",
+                str(aggregate.count),
+            ]
+        )
+    return render_table(
+        headers,
+        rows,
+        title=f"{figure.figure_id} at log10(E-U)={label}: per-case spread",
+    )

@@ -1,0 +1,34 @@
+"""The three Dijkstra-based data staging heuristics (paper §4.5–§4.7)."""
+
+from repro.heuristics.base import (
+    EngineStats,
+    HeuristicResult,
+    StagingHeuristic,
+    TreeCache,
+)
+from repro.heuristics.candidates import CandidateGroup, enumerate_groups
+from repro.heuristics.full_path_all import FullPathAllDestinationsHeuristic
+from repro.heuristics.full_path_one import FullPathOneDestinationHeuristic
+from repro.heuristics.partial_path import PartialPathHeuristic
+from repro.heuristics.rollout import RolloutScheduler
+from repro.heuristics.registry import (
+    heuristic_names,
+    make_heuristic,
+    paper_pairings,
+)
+
+__all__ = [
+    "CandidateGroup",
+    "EngineStats",
+    "FullPathAllDestinationsHeuristic",
+    "FullPathOneDestinationHeuristic",
+    "HeuristicResult",
+    "PartialPathHeuristic",
+    "RolloutScheduler",
+    "StagingHeuristic",
+    "TreeCache",
+    "enumerate_groups",
+    "heuristic_names",
+    "make_heuristic",
+    "paper_pairings",
+]

@@ -1,0 +1,405 @@
+"""The shared scheduling engine behind the three §4.5–§4.7 heuristics.
+
+All three heuristics follow the same outer loop:
+
+1. (re)compute the shortest-path tree of every requested item;
+2. enumerate the valid next communication steps (candidate groups);
+3. price each group with the chosen cost criterion;
+4. schedule the cheapest group — *how much* of it is scheduled is the only
+   difference between the heuristics (one hop, one full path, or full paths
+   to all destinations sharing the next machine);
+5. update the state and repeat until no satisfiable request has a valid
+   next step.
+
+:class:`TreeCache` implements the re-computation optimization the paper
+sketches but does not use (§4.5): an item's tree is recomputed only when the
+item's own copy set changed or when a booking touched a link/storage
+resource on one of the tree's destination paths.  Bookings only ever remove
+availability, so an untouched tree's labels remain exact and optimal — the
+engine's decisions match the recompute-every-iteration algorithm.
+"""
+
+from __future__ import annotations
+
+import abc
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.scenario import Scenario
+from repro.core.schedule import Schedule
+from repro.core.state import NetworkState, TransferPlan
+from repro.cost.criteria import CostCriterion, CostResult
+from repro.cost.weights import EUWeights
+from repro.errors import ConfigurationError
+from repro.heuristics.candidates import CandidateGroup, enumerate_groups
+from repro.routing.dijkstra import compute_shortest_path_tree
+from repro.routing.paths import Hop, ShortestPathTree
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class EngineStats:
+    """Instrumentation collected during one heuristic run.
+
+    Attributes:
+        iterations: number of outer-loop iterations (scheduled choices).
+        dijkstra_runs: number of shortest-path-tree computations.
+        hops_booked: number of communication steps booked.
+        cache_hits: tree requests answered from the cache.
+        elapsed_seconds: wall-clock time of the run.
+    """
+
+    iterations: int = 0
+    dijkstra_runs: int = 0
+    hops_booked: int = 0
+    cache_hits: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class HeuristicResult:
+    """A finished run: the schedule plus engine instrumentation."""
+
+    schedule: Schedule
+    stats: EngineStats
+
+
+@dataclass
+class CacheEntry:
+    """A cached tree plus an arbitrary derived payload.
+
+    The payload (the heuristic's scored candidate choice for the item) has
+    exactly the same validity as the tree — it is derived from the tree, the
+    item's unsatisfied-request set (which only changes with the item
+    revision), and run-constant configuration — so it is stored on the entry
+    and discarded with it.
+    """
+
+    tree: ShortestPathTree
+    item_revision: int
+    link_revisions: Dict[int, int] = field(default_factory=dict)
+    machine_revisions: Dict[int, int] = field(default_factory=dict)
+    payload: object = None
+
+
+class TreeCache:
+    """Revision-validated cache of per-item shortest-path trees.
+
+    Args:
+        state: the scheduling state trees are computed against.
+        stats: instrumentation sink.
+        enabled: disable to recompute every tree on every request.
+        not_before: wall-clock lower bound forwarded to the routing layer;
+            a cache instance is bound to one value (dynamic drivers create
+            a fresh cache per re-scheduling pass).
+    """
+
+    def __init__(
+        self,
+        state: NetworkState,
+        stats: EngineStats,
+        enabled: bool = True,
+        not_before: float = 0.0,
+    ) -> None:
+        self._state = state
+        self._stats = stats
+        self._enabled = enabled
+        self._not_before = not_before
+        self._trees: Dict[int, CacheEntry] = {}
+
+    @property
+    def not_before(self) -> float:
+        """The wall-clock lower bound this cache plans at."""
+        return self._not_before
+
+    def tree_for(self, item_id: int) -> ShortestPathTree:
+        """The item's current tree, recomputing only when necessary."""
+        return self.entry_for(item_id).tree
+
+    def entry_for(self, item_id: int) -> CacheEntry:
+        """The item's cache entry, recomputing the tree only when necessary.
+
+        The search early-exits once every unsatisfied destination of the
+        item is finalized — labels for other machines are never consulted
+        (candidate enumeration and footprints only walk destination paths).
+        """
+        cached = self._trees.get(item_id) if self._enabled else None
+        if cached is not None and self._is_valid(item_id, cached):
+            self._stats.cache_hits += 1
+            return cached
+        targets = {
+            request.destination
+            for request in self._state.unsatisfied_requests_for_item(item_id)
+        }
+        tree = compute_shortest_path_tree(
+            self._state, item_id, targets, not_before=self._not_before
+        )
+        self._stats.dijkstra_runs += 1
+        entry = self._snapshot(item_id, tree)
+        if self._enabled:
+            self._trees[item_id] = entry
+        return entry
+
+    def _is_valid(self, item_id: int, cached: CacheEntry) -> bool:
+        state = self._state
+        if state.item_revision(item_id) != cached.item_revision:
+            return False
+        for link_id, revision in cached.link_revisions.items():
+            if state.link_revision(link_id) != revision:
+                return False
+        for machine, revision in cached.machine_revisions.items():
+            if state.machine_revision(machine) != revision:
+                return False
+        return True
+
+    def _snapshot(self, item_id: int, tree: ShortestPathTree) -> CacheEntry:
+        state = self._state
+        destinations = [
+            request.destination
+            for request in state.unsatisfied_requests_for_item(item_id)
+        ]
+        link_ids, machines = tree.footprint(destinations)
+        return CacheEntry(
+            tree=tree,
+            item_revision=state.item_revision(item_id),
+            link_revisions={
+                link_id: state.link_revision(link_id) for link_id in link_ids
+            },
+            machine_revisions={
+                machine: state.machine_revision(machine)
+                for machine in machines
+            },
+        )
+
+
+class StagingHeuristic(abc.ABC):
+    """Base class of the three Dijkstra-based data staging heuristics.
+
+    Args:
+        criterion: the §4.8 cost criterion pricing candidate steps.
+        weights: the ``(W_E, W_U)`` pair (ignored by E-U-independent
+            criteria such as C3).
+        use_tree_cache: disable to force a Dijkstra run per item per
+            iteration, exactly as the paper describes (slower, same result).
+
+    Raises:
+        ConfigurationError: when the criterion cannot drive this heuristic
+            (C1 with the full-path/all-destinations heuristic).
+    """
+
+    #: Registry identifier, e.g. ``"partial"``.
+    name: str = ""
+
+    #: Label used in the paper's figures, e.g. ``"partial"``.
+    figure_label: str = ""
+
+    def __init__(
+        self,
+        criterion: CostCriterion,
+        weights: EUWeights,
+        use_tree_cache: bool = True,
+    ) -> None:
+        if not criterion.supports_all_destinations and self._requires_group_cost():
+            raise ConfigurationError(
+                f"criterion {criterion.name} does not capture "
+                f"multi-destination value and cannot drive {self.name}"
+            )
+        self._criterion = criterion
+        self._weights = weights
+        self._use_tree_cache = use_tree_cache
+
+    @property
+    def criterion(self) -> CostCriterion:
+        """The criterion this heuristic instance schedules with."""
+        return self._criterion
+
+    @property
+    def weights(self) -> EUWeights:
+        """The E-U weights this heuristic instance schedules with."""
+        return self._weights
+
+    def label(self) -> str:
+        """Human-readable run label, e.g. ``"partial/C4"``."""
+        return f"{self.name}/{self._criterion.name}"
+
+    def run(self, scenario: Scenario) -> HeuristicResult:
+        """Build a complete schedule for one scenario."""
+        started = time.perf_counter()
+        stats = EngineStats()
+        state = NetworkState(scenario, schedule_name=self.label())
+        cache = TreeCache(state, stats, enabled=self._use_tree_cache)
+        self.drain(state, cache, stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "%s on %s: %d iterations, %d hops, %d Dijkstra runs "
+                "(%d cache hits), %.3fs",
+                self.label(),
+                scenario.name,
+                stats.iterations,
+                stats.hops_booked,
+                stats.dijkstra_runs,
+                stats.cache_hits,
+                stats.elapsed_seconds,
+            )
+        return HeuristicResult(schedule=state.schedule, stats=stats)
+
+    def drain(
+        self,
+        state: NetworkState,
+        cache: TreeCache,
+        stats: EngineStats,
+        priorities: Optional[FrozenSet[int]] = None,
+        request_filter: Optional[Callable[..., bool]] = None,
+    ) -> None:
+        """Schedule until no (optionally filtered) candidate remains.
+
+        Exposed separately from :meth:`run` so composite schedulers can run
+        several passes over one shared state: the §5.4 priority-tier
+        baseline filters by ``priorities``, the dynamic driver hides
+        unrevealed requests through ``request_filter``.
+        """
+        debug = logger.isEnabledFor(logging.DEBUG)
+        while True:
+            choice = self._best_choice(state, cache, priorities, request_filter)
+            if choice is None:
+                break
+            group, result = choice
+            stats.iterations += 1
+            hops = self._execute(state, cache, group, result)
+            stats.hops_booked += hops
+            if debug:
+                logger.debug(
+                    "iteration %d: item %d via M[%d]->M[%d] "
+                    "(cost %.4g, %d hops booked)",
+                    stats.iterations,
+                    group.item_id,
+                    group.first_hop.sender,
+                    group.next_machine,
+                    result.cost,
+                    hops,
+                )
+
+    def _best_choice(
+        self,
+        state: NetworkState,
+        cache: TreeCache,
+        priorities: Optional[FrozenSet[int]] = None,
+        request_filter: Optional[Callable[..., bool]] = None,
+    ) -> Optional[Tuple[CandidateGroup, CostResult]]:
+        scenario = state.scenario
+        best_key = None
+        best: Optional[Tuple[CandidateGroup, CostResult]] = None
+        for item_id in scenario.requested_item_ids():
+            if not state.unsatisfied_requests_for_item(item_id):
+                continue
+            entry = cache.entry_for(item_id)
+            # The item's scored best candidate is derived purely from the
+            # tree, the unsatisfied-request set, and run constants, so it
+            # is cached on the entry.  The key carries the tier filter by
+            # value and the request filter by identity (one filter object
+            # per drain pass).
+            payload = entry.payload
+            if (
+                not isinstance(payload, tuple)
+                or len(payload) != 3
+                or payload[0] != priorities
+                or payload[1] is not request_filter
+            ):
+                payload = (
+                    priorities,
+                    request_filter,
+                    self._score_item(
+                        state, item_id, entry.tree, priorities, request_filter
+                    ),
+                )
+                entry.payload = payload
+            scored = payload[2]
+            if scored is None:
+                continue
+            key, group, result = scored
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (group, result)
+        return best
+
+    def _score_item(
+        self,
+        state: NetworkState,
+        item_id: int,
+        tree: ShortestPathTree,
+        priorities: Optional[FrozenSet[int]],
+        request_filter: Optional[Callable[..., bool]] = None,
+    ) -> Optional[Tuple[tuple, CandidateGroup, CostResult]]:
+        """The item's cheapest candidate group under the criterion."""
+        scenario = state.scenario
+        best: Optional[Tuple[tuple, CandidateGroup, CostResult]] = None
+        for group in enumerate_groups(
+            state,
+            item_id,
+            tree,
+            scenario.weighting,
+            priorities,
+            request_filter,
+        ):
+            result = self._criterion.evaluate(group.evaluations, self._weights)
+            if result.selected is None:
+                continue
+            key = (result.cost,) + group.tie_break_key()
+            if best is None or key < best[0]:
+                best = (key, group, result)
+        return best
+
+    def _book_hop(self, state: NetworkState, item_id: int, hop: Hop) -> None:
+        """Book one tree hop exactly at its planned times."""
+        link = state.scenario.network.link(hop.link_id)
+        plan = TransferPlan(
+            item_id=item_id,
+            link=link,
+            start=hop.start,
+            end=hop.end,
+            release=state.release_time_at(item_id, hop.receiver),
+        )
+        state.book_transfer(plan)
+
+    def _book_paths(
+        self,
+        state: NetworkState,
+        item_id: int,
+        paths: List[Tuple[Hop, ...]],
+    ) -> int:
+        """Book the union of several tree paths, each shared hop once.
+
+        Tree paths to different destinations share prefixes; hops are
+        deduplicated by receiving machine (a tree has one inbound edge per
+        machine) and booked in arrival order so every sender already holds
+        its copy when its outbound transfer is booked.
+        """
+        unique: Dict[int, Hop] = {}
+        for hops in paths:
+            for hop in hops:
+                unique.setdefault(hop.receiver, hop)
+        ordered = sorted(unique.values(), key=lambda h: (h.end, h.start))
+        for hop in ordered:
+            self._book_hop(state, item_id, hop)
+        return len(ordered)
+
+    @abc.abstractmethod
+    def _execute(
+        self,
+        state: NetworkState,
+        cache: TreeCache,
+        group: CandidateGroup,
+        result: CostResult,
+    ) -> int:
+        """Schedule the chosen candidate; return the number of hops booked."""
+
+    def _requires_group_cost(self) -> bool:
+        """True when the heuristic schedules toward multiple destinations."""
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(criterion={self._criterion.name})"

@@ -1,0 +1,111 @@
+"""Enumeration of valid next communication steps (paper §4.3).
+
+After the shortest-path trees of all requested items are (re)computed, the
+*valid next communication steps* are, for each item ``Rq[i]``, the first
+hops of the tree paths leading to unsatisfied, still-reachable destinations.
+Destinations sharing the same next machine ``M[r]`` form the paper's
+``Drq[i,r]`` set; each such set — together with the concrete first hop and
+the §4.8 destination evaluations — is one :class:`CandidateGroup` that the
+cost criteria price and the heuristics schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.priority import PriorityWeighting
+from repro.core.state import NetworkState
+from repro.cost.terms import DestinationEvaluation, evaluate_destination
+from repro.routing.paths import Hop, ShortestPathTree
+
+
+@dataclass(frozen=True)
+class CandidateGroup:
+    """One valid next communication step and the destinations it serves.
+
+    Attributes:
+        item_id: the data item to move.
+        next_machine: the paper's ``M[r]`` — receiver of the first hop.
+        first_hop: the concrete transfer (sender, link, planned times).
+        evaluations: §4.8 terms for every unsatisfied destination whose
+            current shortest path starts with ``first_hop`` (the ``Drq[i,r]``
+            set), ordered by request id.
+    """
+
+    item_id: int
+    next_machine: int
+    first_hop: Hop
+    evaluations: Tuple[DestinationEvaluation, ...]
+
+    @property
+    def has_satisfiable_destination(self) -> bool:
+        """True when scheduling this step can help at least one request."""
+        return any(e.satisfiable for e in self.evaluations)
+
+    def satisfiable_evaluations(self) -> Tuple[DestinationEvaluation, ...]:
+        """The subset of evaluations with ``Sat = 1``."""
+        return tuple(e for e in self.evaluations if e.satisfiable)
+
+    def tie_break_key(self) -> Tuple[int, int, int]:
+        """Deterministic ordering key used when costs tie."""
+        return (self.item_id, self.next_machine, self.first_hop.link_id)
+
+
+def enumerate_groups(
+    state: NetworkState,
+    item_id: int,
+    tree: ShortestPathTree,
+    weighting: PriorityWeighting,
+    priorities: Optional[FrozenSet[int]] = None,
+    request_filter: Optional[Callable[..., bool]] = None,
+) -> Tuple[CandidateGroup, ...]:
+    """Build the ``Drq[i,r]`` candidate groups for one item.
+
+    Only groups containing at least one *satisfiable* destination are
+    returned — per §4.8, a step whose every destination misses its deadline
+    receives no resources.
+
+    Args:
+        state: current scheduling state (supplies unsatisfied requests).
+        item_id: the item whose tree is being expanded.
+        tree: the item's up-to-date shortest-path tree.
+        weighting: the scenario's priority weighting.
+        priorities: when given, only requests of these priority classes are
+            considered (used by the §5.4 priority-tier baseline).
+        request_filter: arbitrary additional predicate over requests (used
+            by the dynamic driver to hide not-yet-revealed requests).
+    """
+    grouped: Dict[int, List[DestinationEvaluation]] = {}
+    first_hops: Dict[int, Hop] = {}
+    for request in state.unsatisfied_requests_for_item(item_id):
+        if priorities is not None and request.priority not in priorities:
+            continue
+        if request_filter is not None and not request_filter(request):
+            continue
+        path = tree.path_to(request.destination)
+        if path is None or not path.hops:
+            # Unreachable, or the destination already holds a (late) copy:
+            # either way there is no communication step to schedule for it.
+            continue
+        hop = path.hops[0]
+        evaluation = evaluate_destination(request, tree, weighting)
+        grouped.setdefault(hop.receiver, []).append(evaluation)
+        first_hops[hop.receiver] = hop
+    groups = []
+    for next_machine in sorted(grouped):
+        evaluations = tuple(
+            sorted(
+                grouped[next_machine],
+                key=lambda e: e.request.request_id,
+            )
+        )
+        group = CandidateGroup(
+            item_id=item_id,
+            next_machine=next_machine,
+            first_hop=first_hops[next_machine],
+            evaluations=evaluations,
+        )
+        if group.has_satisfiable_destination:
+            groups.append(group)
+    return tuple(groups)

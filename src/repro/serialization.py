@@ -1,0 +1,284 @@
+"""JSON serialization of scenarios, schedules, and experiment results.
+
+Round-trippable plain-dict codecs: ``scenario_to_dict`` /
+``scenario_from_dict`` and friends, plus file helpers.  The format is
+versioned so future extensions can stay backward compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.data import DataItem, SourceLocation
+from repro.core.intervals import Interval
+from repro.core.link import PhysicalLink
+from repro.core.machine import Machine
+from repro.core.network import Network
+from repro.core.priority import PriorityWeighting
+from repro.core.request import Request
+from repro.core.scenario import Scenario
+from repro.core.schedule import Schedule
+from repro.errors import ModelError
+
+#: Format version written into every serialized document.
+FORMAT_VERSION = 1
+
+
+def _require(document: Dict[str, Any], key: str) -> Any:
+    if key not in document:
+        raise ModelError(f"serialized document is missing key {key!r}")
+    return document[key]
+
+
+# ---------------------------------------------------------------------------
+# Scenario
+# ---------------------------------------------------------------------------
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """A JSON-ready dict capturing the complete scenario."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "scenario",
+        "name": scenario.name,
+        "gc_delay": scenario.gc_delay,
+        "horizon": scenario.horizon,
+        "weighting": {
+            "name": scenario.weighting.name,
+            "weights": list(scenario.weighting.weights),
+        },
+        "machines": [
+            {
+                "index": machine.index,
+                "capacity": machine.capacity,
+                "name": machine.name,
+            }
+            for machine in scenario.network.machines
+        ],
+        "physical_links": [
+            {
+                "physical_id": link.physical_id,
+                "source": link.source,
+                "destination": link.destination,
+                "bandwidth": link.bandwidth,
+                "latency": link.latency,
+                "windows": [[w.start, w.end] for w in link.windows],
+            }
+            for link in scenario.network.physical_links
+        ],
+        "items": [
+            {
+                "item_id": item.item_id,
+                "name": item.name,
+                "size": item.size,
+                "sources": [
+                    {
+                        "machine": src.machine,
+                        "available_from": src.available_from,
+                    }
+                    for src in item.sources
+                ],
+            }
+            for item in scenario.items
+        ],
+        "requests": [
+            {
+                "request_id": request.request_id,
+                "item_id": request.item_id,
+                "destination": request.destination,
+                "priority": request.priority,
+                "deadline": request.deadline,
+            }
+            for request in scenario.requests
+        ],
+    }
+
+
+def scenario_from_dict(document: Dict[str, Any]) -> Scenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output.
+
+    Raises:
+        ModelError: on missing keys or a wrong document kind.
+    """
+    if _require(document, "kind") != "scenario":
+        raise ModelError(
+            f"expected a scenario document, got kind={document.get('kind')!r}"
+        )
+    machines = tuple(
+        Machine(
+            index=entry["index"],
+            capacity=entry["capacity"],
+            name=entry.get("name", ""),
+        )
+        for entry in _require(document, "machines")
+    )
+    links = tuple(
+        PhysicalLink(
+            physical_id=entry["physical_id"],
+            source=entry["source"],
+            destination=entry["destination"],
+            bandwidth=entry["bandwidth"],
+            latency=entry["latency"],
+            windows=tuple(
+                Interval(start, end) for start, end in entry["windows"]
+            ),
+        )
+        for entry in _require(document, "physical_links")
+    )
+    items = tuple(
+        DataItem(
+            item_id=entry["item_id"],
+            name=entry["name"],
+            size=entry["size"],
+            sources=tuple(
+                SourceLocation(
+                    machine=src["machine"],
+                    available_from=src["available_from"],
+                )
+                for src in entry["sources"]
+            ),
+        )
+        for entry in _require(document, "items")
+    )
+    requests = tuple(
+        Request(
+            request_id=entry["request_id"],
+            item_id=entry["item_id"],
+            destination=entry["destination"],
+            priority=entry["priority"],
+            deadline=entry["deadline"],
+        )
+        for entry in _require(document, "requests")
+    )
+    weighting_doc = _require(document, "weighting")
+    return Scenario(
+        network=Network(machines, links),
+        items=items,
+        requests=requests,
+        weighting=PriorityWeighting(
+            weighting_doc["weights"], name=weighting_doc.get("name", "")
+        ),
+        gc_delay=_require(document, "gc_delay"),
+        horizon=_require(document, "horizon"),
+        name=document.get("name", "scenario"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Schedule
+# ---------------------------------------------------------------------------
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """A JSON-ready dict capturing steps and deliveries."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "schedule",
+        "name": schedule.name,
+        "steps": [
+            {
+                "item_id": step.item_id,
+                "source": step.source,
+                "destination": step.destination,
+                "link_id": step.link_id,
+                "start": step.start,
+                "end": step.end,
+            }
+            for step in schedule.steps
+        ],
+        "deliveries": [
+            {
+                "request_id": delivery.request_id,
+                "arrival": delivery.arrival,
+                "hops": delivery.hops,
+            }
+            for delivery in schedule.deliveries.values()
+        ],
+    }
+
+
+def schedule_from_dict(document: Dict[str, Any]) -> Schedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output.
+
+    Raises:
+        ModelError: on missing keys or a wrong document kind.
+    """
+    if _require(document, "kind") != "schedule":
+        raise ModelError(
+            f"expected a schedule document, got kind={document.get('kind')!r}"
+        )
+    schedule = Schedule(name=document.get("name", ""))
+    for entry in _require(document, "steps"):
+        schedule.add_step(
+            item_id=entry["item_id"],
+            source=entry["source"],
+            destination=entry["destination"],
+            link_id=entry["link_id"],
+            start=entry["start"],
+            end=entry["end"],
+        )
+    for entry in _require(document, "deliveries"):
+        schedule.add_delivery(
+            request_id=entry["request_id"],
+            arrival=entry["arrival"],
+            hops=entry["hops"],
+        )
+    return schedule
+
+
+# ---------------------------------------------------------------------------
+# File helpers
+# ---------------------------------------------------------------------------
+
+def save_scenario(scenario: Scenario, path: Union[str, Path]) -> None:
+    """Write a scenario to a JSON file."""
+    Path(path).write_text(
+        json.dumps(scenario_to_dict(scenario), indent=2), encoding="utf-8"
+    )
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Read a scenario from a JSON file."""
+    return scenario_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )
+
+
+def save_schedule(schedule: Schedule, path: Union[str, Path]) -> None:
+    """Write a schedule to a JSON file."""
+    Path(path).write_text(
+        json.dumps(schedule_to_dict(schedule), indent=2), encoding="utf-8"
+    )
+
+
+def load_schedule(path: Union[str, Path]) -> Schedule:
+    """Read a schedule from a JSON file."""
+    return schedule_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )
+
+
+def save_suite(scenarios, directory: Union[str, Path]) -> None:
+    """Write a test-case suite, one ``case-NNN.json`` per scenario.
+
+    Together with :func:`load_suite` this lets the exact cases behind a
+    recorded experiment be shared and replayed byte-identically (the
+    paper's "same 40 randomly generated test cases").
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    for index, scenario in enumerate(scenarios):
+        save_scenario(scenario, base / f"case-{index:03d}.json")
+
+
+def load_suite(directory: Union[str, Path]):
+    """Read back a suite written by :func:`save_suite`, in case order.
+
+    Raises:
+        ModelError: when the directory contains no suite files.
+    """
+    base = Path(directory)
+    paths = sorted(base.glob("case-*.json"))
+    if not paths:
+        raise ModelError(f"no case-*.json files under {base}")
+    return tuple(load_scenario(path) for path in paths)

@@ -1,0 +1,42 @@
+"""Random workload generation matching the paper's §5.3 experiment setup."""
+
+from repro.workload.config import GeneratorConfig
+from repro.workload.describe import (
+    ScenarioDescription,
+    describe,
+    render_description,
+)
+from repro.workload.connectivity import (
+    is_strongly_connected,
+    reachable_from,
+    repair_strong_connectivity,
+    reverse_adjacency,
+)
+from repro.workload.generator import ScenarioGenerator
+from repro.workload.presets import badd_theater, two_route_diamond
+from repro.workload.transforms import (
+    drop_requests,
+    scale_capacities,
+    scale_deadlines,
+    with_gc_delay,
+    with_weighting,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "ScenarioDescription",
+    "ScenarioGenerator",
+    "badd_theater",
+    "describe",
+    "drop_requests",
+    "is_strongly_connected",
+    "reachable_from",
+    "repair_strong_connectivity",
+    "render_description",
+    "scale_capacities",
+    "scale_deadlines",
+    "reverse_adjacency",
+    "two_route_diamond",
+    "with_gc_delay",
+    "with_weighting",
+]

@@ -1,0 +1,191 @@
+"""Generator configuration — every §5.3 parameter range as data.
+
+:class:`GeneratorConfig` captures the full parameterization of the paper's
+test-case generator.  :meth:`GeneratorConfig.paper` reproduces the published
+ranges exactly; :meth:`GeneratorConfig.reduced` scales the instance size
+down (fewer machines, fewer requests, same distributions) for CI-speed
+experiments with the same workload *shape*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core import units
+from repro.errors import ConfigurationError
+
+
+def _check_range(name: str, low: float, high: float, minimum: float) -> None:
+    if low > high:
+        raise ConfigurationError(
+            f"{name}: lower bound {low} exceeds upper bound {high}"
+        )
+    if low < minimum:
+        raise ConfigurationError(
+            f"{name}: lower bound {low} below minimum {minimum}"
+        )
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameter ranges for random BADD-like scenarios (paper §5.3).
+
+    All times are seconds, sizes bytes, bandwidths bytes/second; inclusive
+    integer ranges are ``(low, high)`` tuples, continuous ranges are sampled
+    uniformly.
+
+    Attributes:
+        machines: number of machines ``m`` (paper: 10–12).
+        capacity_bytes: per-machine storage (paper: 10 MB–20 GB).
+        out_degree: distinct forward neighbours per machine (paper: 4–7).
+        parallel_link_probability: chance of a second parallel physical link
+            between an already-connected ordered pair (the paper allows "at
+            most two" without giving a rate; DESIGN.md decision).
+        bandwidth_bytes_per_s: physical-link bandwidth
+            (paper: 10 Kbit/s–1.5 Mbit/s).
+        latency_seconds: per-transfer link latency (not specified by the
+            paper; DESIGN.md decision 2).
+        window_durations: virtual-link durations drawn uniformly from this
+            set (paper: 30 min, 1 h, 2 h, 4 h).
+        availability_percents: percentage of the day a physical link is up,
+            drawn uniformly from this set (paper: 50–100 % in steps of 10).
+        day_seconds: length of the link-availability day (24 h).
+        requests_per_machine: total request count as a multiple of ``m``
+            (paper: 20–40).
+        sources_per_item: initial copies per data item (paper: at most 5).
+        destinations_per_item: requests per data item (paper: at most 5).
+        item_size_bytes: data item sizes (paper: 10 KB–100 MB).
+        priority_levels: number of priority classes (paper: 3).
+        item_start_seconds: item availability times (paper: 0–60 min).
+        deadline_offset_seconds: deadline minus item start
+            (paper: 15–60 min).
+        gc_delay_seconds: the garbage-collection ``γ`` (paper: 6 min).
+    """
+
+    machines: Tuple[int, int] = (10, 12)
+    capacity_bytes: Tuple[float, float] = (
+        units.megabytes(10),
+        units.gigabytes(20),
+    )
+    out_degree: Tuple[int, int] = (4, 7)
+    parallel_link_probability: float = 0.25
+    bandwidth_bytes_per_s: Tuple[float, float] = (
+        units.kilobits_per_second(10),
+        units.megabits_per_second(1.5),
+    )
+    latency_seconds: Tuple[float, float] = (0.05, 0.5)
+    window_durations: Tuple[float, ...] = (
+        units.minutes(30),
+        units.hours(1),
+        units.hours(2),
+        units.hours(4),
+    )
+    availability_percents: Tuple[int, ...] = (50, 60, 70, 80, 90, 100)
+    day_seconds: float = units.days(1)
+    requests_per_machine: Tuple[int, int] = (20, 40)
+    sources_per_item: Tuple[int, int] = (1, 5)
+    destinations_per_item: Tuple[int, int] = (1, 5)
+    item_size_bytes: Tuple[float, float] = (
+        units.kilobytes(10),
+        units.megabytes(100),
+    )
+    priority_levels: int = 3
+    item_start_seconds: Tuple[float, float] = (0.0, units.minutes(60))
+    deadline_offset_seconds: Tuple[float, float] = (
+        units.minutes(15),
+        units.minutes(60),
+    )
+    gc_delay_seconds: float = units.minutes(6)
+
+    def __post_init__(self) -> None:
+        _check_range("machines", *self.machines, minimum=2)
+        _check_range("capacity_bytes", *self.capacity_bytes, minimum=0)
+        _check_range("out_degree", *self.out_degree, minimum=1)
+        if not 0 <= self.parallel_link_probability <= 1:
+            raise ConfigurationError(
+                "parallel_link_probability must lie in [0, 1], got "
+                f"{self.parallel_link_probability}"
+            )
+        _check_range(
+            "bandwidth_bytes_per_s", *self.bandwidth_bytes_per_s, minimum=1e-9
+        )
+        _check_range("latency_seconds", *self.latency_seconds, minimum=0)
+        if not self.window_durations:
+            raise ConfigurationError("window_durations must be non-empty")
+        if any(d <= 0 or d > self.day_seconds for d in self.window_durations):
+            raise ConfigurationError(
+                f"window durations must lie in (0, day]: "
+                f"{self.window_durations}"
+            )
+        if not self.availability_percents or any(
+            not 0 < p <= 100 for p in self.availability_percents
+        ):
+            raise ConfigurationError(
+                f"availability percents must lie in (0, 100]: "
+                f"{self.availability_percents}"
+            )
+        _check_range(
+            "requests_per_machine", *self.requests_per_machine, minimum=1
+        )
+        _check_range("sources_per_item", *self.sources_per_item, minimum=1)
+        _check_range(
+            "destinations_per_item", *self.destinations_per_item, minimum=1
+        )
+        _check_range("item_size_bytes", *self.item_size_bytes, minimum=1e-9)
+        if self.priority_levels < 1:
+            raise ConfigurationError(
+                f"priority_levels must be >= 1, got {self.priority_levels}"
+            )
+        _check_range(
+            "item_start_seconds", *self.item_start_seconds, minimum=0
+        )
+        _check_range(
+            "deadline_offset_seconds",
+            *self.deadline_offset_seconds,
+            minimum=0,
+        )
+        if self.gc_delay_seconds < 0:
+            raise ConfigurationError(
+                f"gc_delay_seconds must be >= 0, got {self.gc_delay_seconds}"
+            )
+        max_degree = self.machines[0] - 1
+        if self.out_degree[0] > max_degree:
+            raise ConfigurationError(
+                f"out-degree lower bound {self.out_degree[0]} impossible "
+                f"with only {self.machines[0]} machines"
+            )
+
+    @classmethod
+    def paper(cls) -> "GeneratorConfig":
+        """The exact §5.3 parameterization."""
+        return cls()
+
+    @classmethod
+    def reduced(cls) -> "GeneratorConfig":
+        """A CI-scale configuration: same distributions, smaller instances.
+
+        Machine count and connectivity stay in the paper's regime (the
+        network shape is what matters); the request volume — the main cost
+        driver — is cut to roughly a quarter of the paper's.
+        """
+        return cls(
+            machines=(10, 12),
+            requests_per_machine=(5, 10),
+        )
+
+    @classmethod
+    def tiny(cls) -> "GeneratorConfig":
+        """A unit-test configuration that runs in milliseconds."""
+        return cls(
+            machines=(5, 6),
+            out_degree=(2, 3),
+            requests_per_machine=(2, 4),
+            sources_per_item=(1, 2),
+            destinations_per_item=(1, 3),
+        )
+
+    def replace(self, **changes) -> "GeneratorConfig":
+        """A copy with the given fields replaced (validated anew)."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,134 @@
+"""Strong-connectivity checking and repair for generated topologies.
+
+The §5.3 generator "makes sure that the generated communication system is
+strongly connected".  With out-degrees of 4–7 on 10–12 machines a random
+digraph almost always is; when it is not, :func:`repair_strong_connectivity`
+adds the minimum-effort extra physical links needed: whenever some machine
+cannot be reached from machine 0 (or cannot reach it), a link is added from
+(or to) the already-connected set.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+
+def reachable_from(adjacency: Dict[int, Set[int]], origin: int) -> Set[int]:
+    """All nodes reachable from ``origin`` (including itself) by BFS."""
+    visited = {origin}
+    frontier = [origin]
+    while frontier:
+        node = frontier.pop()
+        for nxt in adjacency.get(node, ()):
+            if nxt not in visited:
+                visited.add(nxt)
+                frontier.append(nxt)
+    return visited
+
+
+def reverse_adjacency(adjacency: Dict[int, Set[int]]) -> Dict[int, Set[int]]:
+    """The transpose digraph."""
+    reverse: Dict[int, Set[int]] = {node: set() for node in adjacency}
+    for node, targets in adjacency.items():
+        for target in targets:
+            reverse[target].add(node)
+    return reverse
+
+
+def is_strongly_connected(adjacency: Dict[int, Set[int]]) -> bool:
+    """True if every node reaches every other node."""
+    if not adjacency:
+        return True
+    nodes = set(adjacency)
+    origin = next(iter(nodes))
+    if reachable_from(adjacency, origin) != nodes:
+        return False
+    return reachable_from(reverse_adjacency(adjacency), origin) == nodes
+
+
+def repair_strong_connectivity(
+    adjacency: Dict[int, Set[int]],
+    pair_counts: Dict[Tuple[int, int], int],
+    rng: random.Random,
+    max_links_per_pair: int = 2,
+) -> List[Tuple[int, int]]:
+    """Make the digraph strongly connected by adding directed edges.
+
+    Args:
+        adjacency: mutated in place as edges are added.
+        pair_counts: physical-link multiplicities per ordered pair, mutated
+            in place so the caller's "at most two links per pair" invariant
+            survives the repair.
+        rng: source of randomness for endpoint selection.
+        max_links_per_pair: the multiplicity cap.
+
+    Returns:
+        The list of added ``(source, destination)`` pairs, in order.
+    """
+    added: List[Tuple[int, int]] = []
+    nodes = sorted(adjacency)
+    if not nodes:
+        return added
+    origin = nodes[0]
+    while True:
+        forward = reachable_from(adjacency, origin)
+        missing = [node for node in nodes if node not in forward]
+        if missing:
+            target = rng.choice(missing)
+            source = _pick_endpoint(
+                rng, sorted(forward), target, pair_counts, max_links_per_pair,
+                outgoing=True,
+            )
+            _add_edge(adjacency, pair_counts, source, target, added)
+            continue
+        backward = reachable_from(reverse_adjacency(adjacency), origin)
+        missing = [node for node in nodes if node not in backward]
+        if missing:
+            source = rng.choice(missing)
+            target = _pick_endpoint(
+                rng, sorted(backward), source, pair_counts,
+                max_links_per_pair, outgoing=False,
+            )
+            _add_edge(adjacency, pair_counts, source, target, added)
+            continue
+        return added
+
+
+def _pick_endpoint(
+    rng: random.Random,
+    candidates: List[int],
+    other: int,
+    pair_counts: Dict[Tuple[int, int], int],
+    max_links_per_pair: int,
+    outgoing: bool,
+) -> int:
+    """Choose a connected-set endpoint with pair-multiplicity headroom."""
+    viable = []
+    for node in candidates:
+        if node == other:
+            continue
+        pair = (node, other) if outgoing else (other, node)
+        if pair_counts.get(pair, 0) < max_links_per_pair:
+            viable.append(node)
+    if not viable:
+        # Every pair is saturated at two parallel links yet the node is
+        # unreachable — impossible, since a saturated pair implies an edge
+        # and therefore reachability.
+        raise AssertionError(
+            "connectivity repair found no viable endpoint; "
+            "pair saturation contradicts unreachability"
+        )
+    return rng.choice(viable)
+
+
+def _add_edge(
+    adjacency: Dict[int, Set[int]],
+    pair_counts: Dict[Tuple[int, int], int],
+    source: int,
+    target: int,
+    added: List[Tuple[int, int]],
+) -> None:
+    adjacency.setdefault(source, set()).add(target)
+    pair_counts[(source, target)] = pair_counts.get((source, target), 0) + 1
+    added.append((source, target))

@@ -1,0 +1,151 @@
+"""Scenario descriptions: workload statistics for reports and debugging.
+
+:func:`describe` condenses one scenario into the quantities that determine
+scheduling difficulty — request volume per priority class, item-size and
+bandwidth distributions, link availability, deadline slack, and a static
+oversubscription estimate — and :func:`render_description` prints them as
+a compact text block (also exposed as ``datastage describe``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core import units
+from repro.core.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class ScenarioDescription:
+    """Summary statistics of one scenario.
+
+    Attributes:
+        name: the scenario's name.
+        machines: machine count.
+        physical_links: physical link count.
+        virtual_links: virtual link count.
+        items: data item count.
+        requests: request count.
+        requests_by_priority: request count per priority class.
+        total_capacity: summed machine storage in bytes.
+        min_capacity: smallest machine storage in bytes.
+        total_item_bytes: summed item sizes.
+        mean_item_bytes: mean item size.
+        mean_bandwidth: mean physical-link bandwidth (bytes/s).
+        mean_availability: mean fraction of the horizon each physical
+            link is available (capped at 1.0).
+        mean_deadline_slack: mean of (deadline − item availability).
+        demand_bytes: total bytes that must move if every request were
+            served by a direct single-hop transfer (item size × requests).
+        supply_bytes: total link capacity within the horizon
+            (Σ bandwidth × available window time clipped to the horizon).
+        oversubscription: ``demand_bytes / supply_bytes`` — a crude static
+            load factor (>1 means demand exceeds raw capacity even before
+            deadlines, windows, and storage are considered).
+    """
+
+    name: str
+    machines: int
+    physical_links: int
+    virtual_links: int
+    items: int
+    requests: int
+    requests_by_priority: Tuple[int, ...]
+    total_capacity: float
+    min_capacity: float
+    total_item_bytes: float
+    mean_item_bytes: float
+    mean_bandwidth: float
+    mean_availability: float
+    mean_deadline_slack: float
+    demand_bytes: float
+    supply_bytes: float
+
+    @property
+    def oversubscription(self) -> float:
+        """Demand-to-supply ratio (see class docstring)."""
+        if self.supply_bytes <= 0:
+            return float("inf")
+        return self.demand_bytes / self.supply_bytes
+
+
+def describe(scenario: Scenario) -> ScenarioDescription:
+    """Compute the summary statistics of one scenario."""
+    network = scenario.network
+    classes = scenario.weighting.highest_priority + 1
+    by_priority = [0] * classes
+    for request in scenario.requests:
+        by_priority[request.priority] += 1
+
+    capacities = [machine.capacity for machine in network.machines]
+    item_sizes = [item.size for item in scenario.items]
+    bandwidths = [plink.bandwidth for plink in network.physical_links]
+
+    availabilities = []
+    supply = 0.0
+    for plink in network.physical_links:
+        open_seconds = sum(
+            max(0.0, min(window.end, scenario.horizon) - window.start)
+            for window in plink.windows
+            if window.start < scenario.horizon
+        )
+        availabilities.append(min(open_seconds / scenario.horizon, 1.0))
+        supply += plink.bandwidth * open_seconds
+
+    slacks = []
+    demand = 0.0
+    for request in scenario.requests:
+        item = scenario.item(request.item_id)
+        slacks.append(request.deadline - item.earliest_availability())
+        demand += item.size
+
+    def _mean(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return ScenarioDescription(
+        name=scenario.name,
+        machines=network.machine_count,
+        physical_links=len(network.physical_links),
+        virtual_links=len(network.virtual_links),
+        items=scenario.item_count,
+        requests=scenario.request_count,
+        requests_by_priority=tuple(by_priority),
+        total_capacity=sum(capacities),
+        min_capacity=min(capacities) if capacities else 0.0,
+        total_item_bytes=sum(item_sizes),
+        mean_item_bytes=_mean(item_sizes),
+        mean_bandwidth=_mean(bandwidths),
+        mean_availability=_mean(availabilities),
+        mean_deadline_slack=_mean(slacks),
+        demand_bytes=demand,
+        supply_bytes=supply,
+    )
+
+
+def render_description(description: ScenarioDescription) -> str:
+    """Render a description as an aligned text block."""
+    per_class = ", ".join(
+        f"p{p}={count}"
+        for p, count in enumerate(description.requests_by_priority)
+    )
+    lines = [
+        f"scenario {description.name}",
+        f"  machines:        {description.machines} "
+        f"(storage {units.format_size(description.min_capacity)}"
+        f"..{units.format_size(description.total_capacity)} total)",
+        f"  links:           {description.physical_links} physical / "
+        f"{description.virtual_links} virtual, mean "
+        f"{units.format_size(description.mean_bandwidth)}/s, "
+        f"{100 * description.mean_availability:.0f}% available",
+        f"  items:           {description.items} "
+        f"(mean {units.format_size(description.mean_item_bytes)}, total "
+        f"{units.format_size(description.total_item_bytes)})",
+        f"  requests:        {description.requests} ({per_class})",
+        f"  deadline slack:  {units.format_time(description.mean_deadline_slack)} mean",
+        f"  demand/supply:   "
+        f"{units.format_size(description.demand_bytes)} / "
+        f"{units.format_size(description.supply_bytes)} = "
+        f"{description.oversubscription:.3f}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Hand-built scenario presets.
+
+Deterministic, human-readable scenarios used by examples, documentation,
+and tests.  The flagship preset is :func:`badd_theater`, a direct
+translation of the paper's §1 motivation: a warfighter staging terrain
+maps, enemy locations, and weather data from rear data centers over an
+intermittently available satellite network.
+"""
+
+from __future__ import annotations
+
+from repro.core import units
+from repro.core.data import DataItem, SourceLocation
+from repro.core.intervals import Interval
+from repro.core.link import PhysicalLink
+from repro.core.machine import Machine
+from repro.core.network import Network
+from repro.core.priority import Priority
+from repro.core.request import Request
+from repro.core.scenario import Scenario
+
+
+def badd_theater() -> Scenario:
+    """The paper's §1 warfighter scenario, made concrete.
+
+    Machines: Washington data center, European base, satellite ground
+    relay, forward operations base, and a field unit.  The rear sites talk
+    over always-up terrestrial fiber; the theater hangs off 15-minute
+    hourly satellite passes.  One item (the 60 MB logistics report) is
+    deliberately larger than any single pass can carry, so the network is
+    structurally oversubscribed: ``possible_satisfy < upper_bound``.
+    """
+    machines = (
+        Machine(0, units.gigabytes(500), name="washington"),
+        Machine(1, units.gigabytes(100), name="euro-base"),
+        Machine(2, units.gigabytes(2), name="relay"),
+        Machine(3, units.megabytes(600), name="fob"),
+        Machine(4, units.megabytes(200), name="field-unit"),
+    )
+
+    always = (Interval(0.0, units.hours(24)),)
+    sat_passes = tuple(
+        Interval(
+            units.hours(h) + units.minutes(10),
+            units.hours(h) + units.minutes(25),
+        )
+        for h in range(24)
+    )
+    links = (
+        PhysicalLink(0, 0, 1, units.megabits_per_second(1.5), 0.2, always),
+        PhysicalLink(1, 1, 0, units.megabits_per_second(1.5), 0.2, always),
+        PhysicalLink(2, 0, 2, units.megabits_per_second(1.0), 0.2, always),
+        PhysicalLink(3, 1, 2, units.megabits_per_second(1.0), 0.2, always),
+        PhysicalLink(4, 2, 0, units.kilobits_per_second(256), 0.2, always),
+        PhysicalLink(5, 2, 3, units.kilobits_per_second(512), 0.5, sat_passes),
+        PhysicalLink(6, 3, 2, units.kilobits_per_second(64), 0.5, sat_passes),
+        PhysicalLink(7, 3, 4, units.kilobits_per_second(128), 0.3, always),
+        PhysicalLink(8, 4, 3, units.kilobits_per_second(64), 0.3, always),
+    )
+    network = Network(machines, links)
+
+    items = (
+        DataItem(
+            0, "terrain-maps", units.megabytes(18), (SourceLocation(0, 0.0),)
+        ),
+        DataItem(
+            1,
+            "enemy-locations",
+            units.megabytes(2),
+            (
+                SourceLocation(0, units.minutes(20)),
+                SourceLocation(1, units.minutes(20)),
+            ),
+        ),
+        DataItem(
+            2, "weather-0600", units.megabytes(6), (SourceLocation(1, 0.0),)
+        ),
+        # 60 MB exceeds every 15-minute satellite pass at 512 Kbit/s.
+        DataItem(
+            3,
+            "logistics-report",
+            units.megabytes(60),
+            (SourceLocation(1, 0.0),),
+        ),
+    )
+
+    requests = (
+        Request(0, 0, 4, Priority.HIGH, units.hours(2.0)),
+        Request(1, 1, 4, Priority.HIGH, units.hours(1.5)),
+        Request(2, 2, 4, Priority.MEDIUM, units.hours(2.0)),
+        Request(3, 1, 3, Priority.MEDIUM, units.hours(2.0)),
+        Request(4, 2, 3, Priority.LOW, units.hours(3.0)),
+        Request(5, 3, 3, Priority.LOW, units.hours(2.5)),
+        Request(6, 3, 2, Priority.LOW, units.hours(2.0)),
+    )
+
+    return Scenario(
+        network=network,
+        items=items,
+        requests=requests,
+        gc_delay=units.minutes(6),
+        horizon=units.hours(6),
+        name="badd-theater",
+    )
+
+
+def two_route_diamond() -> Scenario:
+    """A minimal contention study: one item, two disjoint routes.
+
+    Machines 0 -> {1, 2} -> 3; the upper route is fast but narrow (one
+    short window), the lower route slow but always on.  Useful in tests
+    and docs for illustrating window-constrained routing.
+    """
+    machines = tuple(
+        Machine(index, units.megabytes(100)) for index in range(4)
+    )
+    links = (
+        PhysicalLink(
+            0, 0, 1, units.megabits_per_second(1.0), 0.1,
+            (Interval(0.0, units.minutes(5)),),
+        ),
+        PhysicalLink(
+            1, 1, 3, units.megabits_per_second(1.0), 0.1,
+            (Interval(0.0, units.minutes(5)),),
+        ),
+        PhysicalLink(
+            2, 0, 2, units.kilobits_per_second(200), 0.1,
+            (Interval(0.0, units.hours(4)),),
+        ),
+        PhysicalLink(
+            3, 2, 3, units.kilobits_per_second(200), 0.1,
+            (Interval(0.0, units.hours(4)),),
+        ),
+    )
+    items = (
+        DataItem(
+            0, "payload", units.megabytes(10), (SourceLocation(0, 0.0),)
+        ),
+    )
+    requests = (
+        Request(0, 0, 3, Priority.HIGH, units.hours(1.0)),
+    )
+    return Scenario(
+        network=Network(machines, links),
+        items=items,
+        requests=requests,
+        gc_delay=units.minutes(6),
+        horizon=units.hours(4),
+        name="two-route-diamond",
+    )

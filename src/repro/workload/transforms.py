@@ -1,0 +1,122 @@
+"""Scenario transforms: derived what-if variants of a scenario.
+
+The ablation studies repeatedly need "the same scenario, but …" — tighter
+storage, a different γ, scaled deadlines, a different weighting.  These
+helpers produce *validated* variants (every transform re-runs the
+scenario's cross-entity validation) while leaving the original untouched,
+so a sweep over one knob provably changes nothing else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.machine import Machine
+from repro.core.network import Network
+from repro.core.priority import PriorityWeighting
+from repro.core.request import Request
+from repro.core.scenario import Scenario
+from repro.errors import ConfigurationError
+
+
+def with_gc_delay(scenario: Scenario, gc_delay: float) -> Scenario:
+    """The same scenario under a different garbage-collection γ."""
+    if gc_delay < 0:
+        raise ConfigurationError(f"gc_delay must be >= 0, got {gc_delay}")
+    return dataclasses.replace(scenario, gc_delay=gc_delay)
+
+
+def with_weighting(
+    scenario: Scenario, weighting: PriorityWeighting
+) -> Scenario:
+    """The same scenario scored under a different priority weighting.
+
+    Raises:
+        ConfigurationError: if the weighting has fewer classes than the
+            scenario's priorities use.
+    """
+    highest = max(
+        (request.priority for request in scenario.requests), default=0
+    )
+    if weighting.highest_priority < highest:
+        raise ConfigurationError(
+            f"weighting {weighting} has {weighting.highest_priority + 1} "
+            f"classes but the scenario uses priority {highest}"
+        )
+    return dataclasses.replace(scenario, weighting=weighting)
+
+
+def scale_capacities(scenario: Scenario, factor: float) -> Scenario:
+    """Every machine's storage multiplied by ``factor`` (> 0)."""
+    if factor <= 0:
+        raise ConfigurationError(f"factor must be > 0, got {factor}")
+    machines = tuple(
+        Machine(
+            index=machine.index,
+            capacity=machine.capacity * factor,
+            name=machine.name,
+        )
+        for machine in scenario.network.machines
+    )
+    network = Network(machines, scenario.network.physical_links)
+    return dataclasses.replace(scenario, network=network)
+
+
+def scale_deadlines(scenario: Scenario, factor: float) -> Scenario:
+    """Every request's *slack* multiplied by ``factor`` (> 0).
+
+    Slack is measured from the item's earliest availability, so the
+    transform tightens or relaxes urgency without moving item start
+    times.  The horizon grows if a relaxed deadline would escape it.
+    """
+    if factor <= 0:
+        raise ConfigurationError(f"factor must be > 0, got {factor}")
+    requests = []
+    latest = 0.0
+    for request in scenario.requests:
+        item = scenario.item(request.item_id)
+        start = item.earliest_availability()
+        slack = request.deadline - start
+        deadline = start + slack * factor
+        latest = max(latest, deadline)
+        requests.append(
+            Request(
+                request_id=request.request_id,
+                item_id=request.item_id,
+                destination=request.destination,
+                priority=request.priority,
+                deadline=deadline,
+            )
+        )
+    horizon = max(scenario.horizon, latest + scenario.gc_delay + 1.0)
+    return dataclasses.replace(
+        scenario, requests=tuple(requests), horizon=horizon
+    )
+
+
+def drop_requests(scenario: Scenario, keep_fraction: float) -> Scenario:
+    """Keep the first ``keep_fraction`` of requests (ids renumbered).
+
+    A deterministic load-shedding transform: the retained prefix keeps
+    the original request order, so two scenarios differing only in
+    ``keep_fraction`` are strictly nested.
+
+    Raises:
+        ConfigurationError: unless ``0 < keep_fraction <= 1``.
+    """
+    if not 0 < keep_fraction <= 1:
+        raise ConfigurationError(
+            f"keep_fraction must lie in (0, 1], got {keep_fraction}"
+        )
+    keep = max(1, int(round(scenario.request_count * keep_fraction)))
+    requests = tuple(
+        Request(
+            request_id=index,
+            item_id=request.item_id,
+            destination=request.destination,
+            priority=request.priority,
+            deadline=request.deadline,
+        )
+        for index, request in enumerate(scenario.requests[:keep])
+    )
+    return dataclasses.replace(scenario, requests=requests)

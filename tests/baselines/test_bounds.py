@@ -1,0 +1,75 @@
+"""Unit tests for the §5.2 upper bounds."""
+
+from repro.baselines.bounds import (
+    isolated_satisfiable_requests,
+    possible_satisfy,
+    possible_satisfy_effect,
+    upper_bound,
+    upper_bound_effect,
+)
+
+from tests.helpers import line_network, make_item, make_scenario
+
+
+def _scenario(deadlines):
+    network = line_network(3)
+    items = [make_item(0, 1000.0, [(0, 0.0)])]
+    specs = [
+        (0, 1, 2, deadlines[0]),
+        (0, 2, 1, deadlines[1]),
+    ]
+    return make_scenario(network, items, specs)
+
+
+class TestUpperBound:
+    def test_counts_every_request(self):
+        scenario = _scenario((100.0, 100.0))
+        assert upper_bound(scenario) == 110.0
+        effect = upper_bound_effect(scenario)
+        assert effect.satisfied_by_priority == effect.total_by_priority
+
+    def test_independent_of_feasibility(self):
+        # Impossible deadlines still count toward the loose bound.
+        assert upper_bound(_scenario((0.1, 0.1))) == 110.0
+
+
+class TestPossibleSatisfy:
+    def test_all_reachable_in_time(self):
+        scenario = _scenario((100.0, 100.0))
+        assert possible_satisfy(scenario) == 110.0
+        assert isolated_satisfiable_requests(scenario) == (0, 1)
+
+    def test_excludes_impossible_deadlines(self):
+        # Machine 1 is one hop (1 s), machine 2 two hops (2 s).
+        scenario = _scenario((1.0, 1.5))
+        assert isolated_satisfiable_requests(scenario) == (0,)
+        assert possible_satisfy(scenario) == 100.0
+
+    def test_all_impossible(self):
+        scenario = _scenario((0.5, 0.5))
+        assert possible_satisfy(scenario) == 0.0
+        effect = possible_satisfy_effect(scenario)
+        assert effect.satisfied_count == 0
+
+    def test_never_exceeds_upper_bound(self, tiny_scenarios):
+        for scenario in tiny_scenarios:
+            assert possible_satisfy(scenario) <= upper_bound(scenario)
+
+    def test_ignores_contention(self):
+        # Two items competing for one link are both satisfiable in
+        # isolation even though no schedule satisfies both.
+        from repro.core.intervals import Interval
+        from tests.helpers import make_link, make_network
+
+        network = make_network(
+            2, [make_link(0, 0, 1, windows=[Interval(0.0, 1.2)])]
+        )
+        scenario = make_scenario(
+            network,
+            [
+                make_item(0, 1000.0, [(0, 0.0)]),
+                make_item(1, 1000.0, [(0, 0.0)]),
+            ],
+            [(0, 1, 2, 1.1), (1, 1, 2, 1.1)],
+        )
+        assert possible_satisfy(scenario) == 200.0

@@ -1,0 +1,100 @@
+"""Unit tests for the two §5.2 random lower-bound baselines."""
+
+from repro.baselines.random_dijkstra import RandomDijkstraBaseline
+from repro.baselines.single_dijkstra_random import SingleDijkstraRandomBaseline
+from repro.core.evaluation import evaluate_schedule
+from repro.core.validation import ScheduleValidator
+
+from tests.helpers import line_network, make_item, make_scenario
+
+
+def _simple_scenario():
+    network = line_network(3)
+    items = [
+        make_item(0, 1000.0, [(0, 0.0)]),
+        make_item(1, 1000.0, [(1, 0.0)]),
+    ]
+    specs = [(0, 2, 2, 100.0), (1, 0, 1, 100.0)]
+    return make_scenario(network, items, specs)
+
+
+class TestRandomDijkstra:
+    def test_produces_valid_schedule(self, tiny_scenarios):
+        for index, scenario in enumerate(tiny_scenarios):
+            result = RandomDijkstraBaseline(seed=index).run(scenario)
+            ScheduleValidator(scenario).validate(result.schedule)
+
+    def test_same_seed_is_deterministic(self):
+        scenario = _simple_scenario()
+        a = RandomDijkstraBaseline(seed=7).run(scenario)
+        b = RandomDijkstraBaseline(seed=7).run(scenario)
+        assert [
+            (s.item_id, s.link_id, s.start) for s in a.schedule.steps
+        ] == [(s.item_id, s.link_id, s.start) for s in b.schedule.steps]
+
+    def test_uncontended_scenario_fully_satisfied(self):
+        # With no resource conflicts even random choices satisfy all.
+        scenario = _simple_scenario()
+        result = RandomDijkstraBaseline(seed=0).run(scenario)
+        effect = evaluate_schedule(scenario, result.schedule)
+        assert effect.satisfied_count == 2
+
+    def test_label(self):
+        assert RandomDijkstraBaseline().label() == "random_dijkstra"
+
+
+class TestSingleDijkstraRandom:
+    def test_produces_valid_schedule(self, tiny_scenarios):
+        for index, scenario in enumerate(tiny_scenarios):
+            result = SingleDijkstraRandomBaseline(seed=index).run(scenario)
+            ScheduleValidator(scenario).validate(result.schedule)
+
+    def test_same_seed_is_deterministic(self):
+        scenario = _simple_scenario()
+        a = SingleDijkstraRandomBaseline(seed=3).run(scenario)
+        b = SingleDijkstraRandomBaseline(seed=3).run(scenario)
+        assert [
+            (s.item_id, s.link_id, s.start) for s in a.schedule.steps
+        ] == [(s.item_id, s.link_id, s.start) for s in b.schedule.steps]
+
+    def test_one_dijkstra_per_requested_item(self):
+        scenario = _simple_scenario()
+        result = SingleDijkstraRandomBaseline(seed=0).run(scenario)
+        assert result.stats.dijkstra_runs == 2
+
+    def test_uncontended_scenario_fully_satisfied(self):
+        scenario = _simple_scenario()
+        result = SingleDijkstraRandomBaseline(seed=0).run(scenario)
+        effect = evaluate_schedule(scenario, result.schedule)
+        assert effect.satisfied_count == 2
+
+    def test_conflicting_requests_get_dropped(self):
+        # Two items share one tight link window; planned against a pristine
+        # network both want [0, 1) — whichever books second is dropped.
+        from repro.core.intervals import Interval
+        from tests.helpers import make_link, make_network
+
+        network = make_network(
+            2, [make_link(0, 0, 1, windows=[Interval(0.0, 1.5)])]
+        )
+        scenario = make_scenario(
+            network,
+            [
+                make_item(0, 1000.0, [(0, 0.0)]),
+                make_item(1, 1000.0, [(0, 0.0)]),
+            ],
+            [(0, 1, 2, 2.0), (1, 1, 2, 2.0)],
+        )
+        result = SingleDijkstraRandomBaseline(seed=0).run(scenario)
+        ScheduleValidator(scenario).validate(result.schedule)
+        effect = evaluate_schedule(scenario, result.schedule)
+        assert effect.satisfied_count == 1
+
+    def test_no_steps_for_impossible_deadlines(self):
+        scenario = make_scenario(
+            line_network(3),
+            [make_item(0, 1000.0, [(0, 0.0)])],
+            [(0, 2, 2, 0.5)],
+        )
+        result = SingleDijkstraRandomBaseline(seed=0).run(scenario)
+        assert result.schedule.step_count == 0

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.config import GeneratorConfig
+from repro.workload.generator import ScenarioGenerator
+
+from tests.helpers import single_item_line_scenario
+
+
+@pytest.fixture
+def line_scenario():
+    """One item on a 3-machine ring; request at machine 2, 1 s per hop."""
+    return single_item_line_scenario()
+
+
+@pytest.fixture(scope="session")
+def tiny_generator():
+    """A generator drawing millisecond-scale random scenarios."""
+    return ScenarioGenerator(GeneratorConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def tiny_scenarios(tiny_generator):
+    """Five deterministic tiny scenarios shared across tests."""
+    return tiny_generator.generate_suite(5, base_seed=100)

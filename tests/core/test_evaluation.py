@@ -1,0 +1,57 @@
+"""Unit tests for schedule effect evaluation."""
+
+from repro.core.evaluation import evaluate_satisfied, evaluate_schedule
+from repro.core.schedule import Schedule
+
+from tests.helpers import line_network, make_item, make_scenario
+
+
+def _scenario():
+    network = line_network(4)
+    items = [
+        make_item(0, 100.0, [(0, 0.0)]),
+        make_item(1, 100.0, [(1, 0.0)]),
+    ]
+    specs = [
+        (0, 2, 2, 100.0),  # high
+        (0, 3, 1, 100.0),  # medium
+        (1, 3, 0, 100.0),  # low
+        (1, 2, 2, 100.0),  # high
+    ]
+    return make_scenario(network, items, specs)
+
+
+class TestEvaluateSatisfied:
+    def test_empty_set_scores_zero(self):
+        effect = evaluate_satisfied(_scenario(), ())
+        assert effect.weighted_sum == 0.0
+        assert effect.satisfied_by_priority == (0, 0, 0)
+        assert effect.total_by_priority == (1, 1, 2)
+
+    def test_weighted_sum_uses_weighting(self):
+        effect = evaluate_satisfied(_scenario(), (0, 2))
+        # priority 2 (weight 100) + priority 0 (weight 1).
+        assert effect.weighted_sum == 101.0
+        assert effect.satisfied_by_priority == (1, 0, 1)
+
+    def test_duplicate_ids_counted_once(self):
+        effect = evaluate_satisfied(_scenario(), (0, 0, 0))
+        assert effect.weighted_sum == 100.0
+        assert effect.satisfied_count == 1
+
+    def test_all_satisfied_matches_total(self):
+        scenario = _scenario()
+        effect = evaluate_satisfied(scenario, range(4))
+        assert effect.weighted_sum == scenario.total_weighted_priority()
+        assert effect.satisfied_by_priority == effect.total_by_priority
+
+
+class TestEvaluateSchedule:
+    def test_uses_recorded_deliveries(self):
+        scenario = _scenario()
+        schedule = Schedule()
+        schedule.add_delivery(1, arrival=10.0, hops=1)
+        schedule.add_delivery(3, arrival=20.0, hops=2)
+        effect = evaluate_schedule(scenario, schedule)
+        assert effect.weighted_sum == 110.0  # 10 + 100
+        assert effect.satisfied_count == 2

@@ -1,0 +1,139 @@
+"""Unit tests for scenario construction and cross-entity validation."""
+
+import pytest
+
+from repro.core.priority import WEIGHTING_1_10_100
+from repro.core.request import Request
+from repro.core.scenario import Scenario, requests_from_tuples
+from repro.errors import ScenarioError
+
+from tests.helpers import line_network, make_item, make_scenario
+
+
+def _scenario(**overrides):
+    network = line_network(3)
+    items = [make_item(0, 100.0, [(0, 0.0)]), make_item(1, 200.0, [(1, 5.0)])]
+    specs = [(0, 2, 2, 100.0), (0, 1, 0, 80.0), (1, 2, 1, 60.0)]
+    defaults = dict(network=network, items=items, request_specs=specs)
+    defaults.update(overrides)
+    return make_scenario(**defaults)
+
+
+class TestValidation:
+    def test_valid_scenario_builds(self):
+        scenario = _scenario()
+        assert scenario.item_count == 2
+        assert scenario.request_count == 3
+
+    def test_item_ids_must_be_dense(self):
+        items = [make_item(1, 100.0, [(0, 0.0)])]
+        with pytest.raises(ScenarioError):
+            make_scenario(line_network(3), items, [(1, 2, 0, 10.0)])
+
+    def test_item_names_must_be_unique(self):
+        items = [
+            make_item(0, 100.0, [(0, 0.0)], name="dup"),
+            make_item(1, 100.0, [(1, 0.0)], name="dup"),
+        ]
+        with pytest.raises(ScenarioError):
+            make_scenario(line_network(3), items, [(0, 2, 0, 10.0)])
+
+    def test_source_machine_must_exist(self):
+        items = [make_item(0, 100.0, [(9, 0.0)])]
+        with pytest.raises(ScenarioError):
+            make_scenario(line_network(3), items, [(0, 2, 0, 10.0)])
+
+    def test_request_ids_must_be_dense(self):
+        network = line_network(3)
+        items = (make_item(0, 100.0, [(0, 0.0)]),)
+        requests = (Request(5, 0, 2, 0, 10.0),)
+        with pytest.raises(ScenarioError):
+            Scenario(network=network, items=items, requests=requests)
+
+    def test_request_for_unknown_item_rejected(self):
+        with pytest.raises(ScenarioError):
+            _scenario(request_specs=[(7, 2, 0, 10.0)])
+
+    def test_request_to_unknown_machine_rejected(self):
+        with pytest.raises(ScenarioError):
+            _scenario(request_specs=[(0, 9, 0, 10.0)])
+
+    def test_destination_cannot_be_a_source(self):
+        # Item 0 originates at machine 0.
+        with pytest.raises(ScenarioError):
+            _scenario(request_specs=[(0, 0, 0, 10.0)])
+
+    def test_duplicate_item_destination_pair_rejected(self):
+        with pytest.raises(ScenarioError):
+            _scenario(
+                request_specs=[(0, 2, 0, 10.0), (0, 2, 1, 20.0)]
+            )
+
+    def test_priority_beyond_weighting_rejected(self):
+        with pytest.raises(ScenarioError):
+            _scenario(request_specs=[(0, 2, 3, 10.0)])
+
+    def test_deadline_beyond_horizon_rejected(self):
+        with pytest.raises(ScenarioError):
+            _scenario(
+                request_specs=[(0, 2, 0, 999.0)], horizon=500.0
+            )
+
+    def test_negative_gc_delay_rejected(self):
+        with pytest.raises(ScenarioError):
+            _scenario(gc_delay=-1.0)
+
+
+class TestDerivedAccessors:
+    def test_requests_for_item(self):
+        scenario = _scenario()
+        assert [r.request_id for r in scenario.requests_for_item(0)] == [0, 1]
+        assert [r.request_id for r in scenario.requests_for_item(1)] == [2]
+
+    def test_requested_item_ids_skips_unrequested(self):
+        network = line_network(3)
+        items = [
+            make_item(0, 100.0, [(0, 0.0)]),
+            make_item(1, 100.0, [(1, 0.0)]),
+        ]
+        scenario = make_scenario(network, items, [(0, 2, 0, 10.0)])
+        assert scenario.requested_item_ids() == (0,)
+
+    def test_latest_deadline(self):
+        scenario = _scenario()
+        assert scenario.latest_deadline(0) == 100.0
+        assert scenario.latest_deadline(1) == 60.0
+
+    def test_gc_release_time(self):
+        scenario = _scenario(gc_delay=30.0)
+        assert scenario.gc_release_time(0) == 130.0
+
+    def test_gc_release_clamped_to_horizon(self):
+        scenario = _scenario(gc_delay=30.0, horizon=110.0)
+        assert scenario.gc_release_time(0) == 110.0
+
+    def test_total_weighted_priority(self):
+        scenario = _scenario()
+        # priorities 2, 0, 1 under (1, 10, 100).
+        assert scenario.total_weighted_priority() == 111.0
+
+    def test_item_and_request_lookup(self):
+        scenario = _scenario()
+        assert scenario.item(1).name == "item-1"
+        assert scenario.request(2).item_id == 1
+        with pytest.raises(ScenarioError):
+            scenario.item(9)
+        with pytest.raises(ScenarioError):
+            scenario.request(9)
+
+    def test_default_weighting(self):
+        assert _scenario().weighting is WEIGHTING_1_10_100
+
+
+class TestRequestsFromTuples:
+    def test_assigns_dense_ids(self):
+        requests = requests_from_tuples(
+            [(0, 2, 1, 10.0), (1, 3, 0, 20.0)]
+        )
+        assert [r.request_id for r in requests] == [0, 1]
+        assert requests[1].destination == 3

@@ -1,0 +1,112 @@
+"""Unit tests for schedules, steps, deliveries, and effects."""
+
+import pytest
+
+from repro.core.schedule import (
+    CommunicationStep,
+    Delivery,
+    Schedule,
+    ScheduleEffect,
+)
+from repro.errors import ModelError
+
+
+class TestCommunicationStep:
+    def test_duration(self):
+        step = CommunicationStep(0, 0, 1, 2, 5, 10.0, 14.0)
+        assert step.duration == 4.0
+
+    def test_inverted_times_rejected(self):
+        with pytest.raises(ModelError):
+            CommunicationStep(0, 0, 1, 2, 5, 14.0, 10.0)
+
+    def test_self_transfer_rejected(self):
+        with pytest.raises(ModelError):
+            CommunicationStep(0, 0, 1, 1, 5, 0.0, 1.0)
+
+
+class TestDelivery:
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ModelError):
+            Delivery(request_id=0, arrival=5.0, hops=-1)
+
+
+class TestSchedule:
+    def test_steps_get_dense_ids(self):
+        schedule = Schedule("s")
+        first = schedule.add_step(0, 0, 1, 0, 0.0, 1.0)
+        second = schedule.add_step(0, 1, 2, 1, 1.0, 2.0)
+        assert (first.step_id, second.step_id) == (0, 1)
+        assert schedule.step_count == 2
+
+    def test_deliveries(self):
+        schedule = Schedule()
+        schedule.add_delivery(3, arrival=5.0, hops=2)
+        assert schedule.is_satisfied(3)
+        assert not schedule.is_satisfied(4)
+        assert schedule.delivery(3).arrival == 5.0
+        assert schedule.delivery(4) is None
+        assert schedule.satisfied_request_ids() == (3,)
+
+    def test_duplicate_delivery_rejected(self):
+        schedule = Schedule()
+        schedule.add_delivery(3, arrival=5.0, hops=2)
+        with pytest.raises(ModelError):
+            schedule.add_delivery(3, arrival=6.0, hops=1)
+
+    def test_steps_for_item(self):
+        schedule = Schedule()
+        schedule.add_step(0, 0, 1, 0, 0.0, 1.0)
+        schedule.add_step(1, 0, 1, 0, 1.0, 2.0)
+        schedule.add_step(0, 1, 2, 1, 2.0, 3.0)
+        assert len(schedule.steps_for_item(0)) == 2
+        assert len(schedule.steps_for_item(1)) == 1
+
+    def test_total_bytes_transferred(self):
+        schedule = Schedule()
+        schedule.add_step(0, 0, 1, 0, 0.0, 1.0)
+        schedule.add_step(1, 0, 1, 0, 1.0, 2.0)
+        assert schedule.total_bytes_transferred({0: 10.0, 1: 32.0}) == 42.0
+
+    def test_average_hops(self):
+        schedule = Schedule()
+        assert schedule.average_hops_per_delivery() == 0.0
+        schedule.add_delivery(0, arrival=1.0, hops=1)
+        schedule.add_delivery(1, arrival=2.0, hops=3)
+        assert schedule.average_hops_per_delivery() == 2.0
+
+    def test_extend_from_renumbers(self):
+        source = Schedule()
+        source.add_step(0, 0, 1, 0, 0.0, 1.0)
+        target = Schedule()
+        target.add_step(5, 1, 2, 1, 0.0, 1.0)
+        target.extend_from(source.steps)
+        assert [s.step_id for s in target.steps] == [0, 1]
+        assert target.steps[1].item_id == 0
+
+
+class TestScheduleEffect:
+    def _effect(self):
+        return ScheduleEffect(
+            weighted_sum=120.0,
+            satisfied_by_priority=(2, 1, 1),
+            total_by_priority=(4, 2, 2),
+        )
+
+    def test_effect_is_negated_weighted_sum(self):
+        assert self._effect().effect == -120.0
+
+    def test_counts(self):
+        effect = self._effect()
+        assert effect.satisfied_count == 4
+        assert effect.total_count == 8
+
+    def test_satisfaction_rates(self):
+        effect = self._effect()
+        assert effect.satisfaction_rate() == 0.5
+        assert effect.satisfaction_rate(0) == 0.5
+        assert effect.satisfaction_rate(1) == 0.5
+
+    def test_rate_with_zero_total(self):
+        effect = ScheduleEffect(0.0, (0,), (0,))
+        assert effect.satisfaction_rate() == 0.0

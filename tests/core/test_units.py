@@ -1,0 +1,65 @@
+"""Unit tests for unit conversions."""
+
+import pytest
+
+from repro.core import units
+
+
+class TestTime:
+    def test_minutes(self):
+        assert units.minutes(2) == 120.0
+
+    def test_hours(self):
+        assert units.hours(1.5) == 5400.0
+
+    def test_days(self):
+        assert units.days(1) == 86_400.0
+
+
+class TestSize:
+    def test_decimal_prefixes(self):
+        assert units.kilobytes(10) == 10_000.0
+        assert units.megabytes(1) == 1_000_000.0
+        assert units.gigabytes(2) == 2_000_000_000.0
+
+
+class TestBandwidth:
+    def test_kilobits_per_second(self):
+        # 10 Kbit/s = 1250 bytes/s.
+        assert units.kilobits_per_second(10) == 1250.0
+
+    def test_megabits_per_second(self):
+        # 1.5 Mbit/s = 187500 bytes/s.
+        assert units.megabits_per_second(1.5) == 187_500.0
+
+
+class TestTransferSeconds:
+    def test_basic_division(self):
+        assert units.transfer_seconds(1000.0, 250.0) == 4.0
+
+    def test_zero_size(self):
+        assert units.transfer_seconds(0.0, 100.0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            units.transfer_seconds(-1.0, 100.0)
+
+    def test_non_positive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            units.transfer_seconds(1.0, 0.0)
+        with pytest.raises(ValueError):
+            units.transfer_seconds(1.0, -5.0)
+
+
+class TestFormatting:
+    def test_format_size_scales(self):
+        assert units.format_size(512) == "512B"
+        assert units.format_size(10_000) == "10.00KB"
+        assert units.format_size(2_500_000) == "2.50MB"
+        assert units.format_size(3_000_000_000) == "3.00GB"
+
+    def test_format_time_scales(self):
+        assert units.format_time(12.5) == "12.50s"
+        assert units.format_time(90) == "1.50min"
+        assert units.format_time(5400) == "1.50h"
+        assert units.format_time(float("inf")) == "inf"

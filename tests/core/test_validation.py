@@ -1,0 +1,200 @@
+"""Unit tests for the independent schedule validator.
+
+Each test builds a schedule that violates exactly one model constraint and
+asserts the validator rejects it with a :class:`ValidationError`; a final
+group checks that genuinely feasible schedules pass.
+"""
+
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.core.state import NetworkState
+from repro.core.validation import ScheduleValidator
+from repro.errors import ValidationError
+
+from tests.helpers import (
+    line_network,
+    make_item,
+    make_link,
+    make_network,
+    make_scenario,
+)
+
+
+def _scenario(**overrides):
+    defaults = dict(
+        network=line_network(3),
+        items=[make_item(0, 1000.0, [(0, 0.0)])],
+        request_specs=[(0, 2, 2, 100.0)],
+        gc_delay=50.0,
+        horizon=1000.0,
+    )
+    defaults.update(overrides)
+    return make_scenario(**defaults)
+
+
+def _valid_two_hop_schedule(scenario):
+    """Book the item along 0 -> 1 -> 2 through the real state machinery."""
+    state = NetworkState(scenario)
+    network = scenario.network
+    state.book_transfer(state.earliest_transfer(0, network.link(0), 0.0))
+    state.book_transfer(state.earliest_transfer(0, network.link(1), 1.0))
+    return state.schedule
+
+
+class TestAcceptsFeasible:
+    def test_state_built_schedule_passes(self):
+        scenario = _scenario()
+        schedule = _valid_two_hop_schedule(scenario)
+        ScheduleValidator(scenario).validate(schedule)
+        assert ScheduleValidator(scenario).is_valid(schedule)
+
+    def test_empty_schedule_passes(self):
+        ScheduleValidator(_scenario()).validate(Schedule())
+
+
+class TestRejectsInfeasible:
+    def test_unknown_link(self):
+        scenario = _scenario()
+        schedule = Schedule()
+        schedule.add_step(0, 0, 1, 99, 0.0, 1.0)
+        with pytest.raises(ValidationError, match="unknown virtual link"):
+            ScheduleValidator(scenario).validate(schedule)
+
+    def test_endpoint_mismatch(self):
+        scenario = _scenario()
+        schedule = Schedule()
+        # Link 1 connects 1 -> 2, not 0 -> 1.
+        schedule.add_step(0, 0, 1, 1, 0.0, 1.0)
+        with pytest.raises(ValidationError, match="connects"):
+            ScheduleValidator(scenario).validate(schedule)
+
+    def test_wrong_duration(self):
+        scenario = _scenario()
+        schedule = Schedule()
+        schedule.add_step(0, 0, 1, 0, 0.0, 2.5)  # should take 1.0 s
+        with pytest.raises(ValidationError, match="communication time"):
+            ScheduleValidator(scenario).validate(schedule)
+
+    def test_transfer_outside_window(self):
+        network = make_network(
+            3,
+            [
+                make_link(0, 0, 1, windows=[make_window(0, 10)]),
+                make_link(1, 1, 2),
+                make_link(2, 2, 0),
+            ],
+        )
+        scenario = _scenario(network=network)
+        schedule = Schedule()
+        schedule.add_step(0, 0, 1, 0, 9.5, 10.5)
+        with pytest.raises(ValidationError, match="window"):
+            ScheduleValidator(scenario).validate(schedule)
+
+    def test_link_exclusivity(self):
+        scenario = _scenario(
+            items=[
+                make_item(0, 1000.0, [(0, 0.0)]),
+                make_item(1, 1000.0, [(0, 0.0)]),
+            ],
+            request_specs=[(0, 2, 2, 100.0), (1, 2, 0, 100.0)],
+        )
+        schedule = Schedule()
+        schedule.add_step(0, 0, 1, 0, 0.0, 1.0)
+        schedule.add_step(1, 0, 1, 0, 0.5, 1.5)
+        with pytest.raises(ValidationError, match="already carries"):
+            ScheduleValidator(scenario).validate(schedule)
+
+    def test_sender_without_copy(self):
+        scenario = _scenario()
+        schedule = Schedule()
+        schedule.add_step(0, 1, 2, 1, 0.0, 1.0)  # machine 1 never got it
+        with pytest.raises(ValidationError, match="no copy"):
+            ScheduleValidator(scenario).validate(schedule)
+
+    def test_forward_before_arrival(self):
+        scenario = _scenario()
+        schedule = Schedule()
+        schedule.add_step(0, 0, 1, 0, 0.0, 1.0)
+        # Forward from machine 1 starting before the copy arrived at t=1.
+        schedule.add_step(0, 1, 2, 1, 0.5, 1.5)
+        with pytest.raises(ValidationError, match="before the sender"):
+            ScheduleValidator(scenario).validate(schedule)
+
+    def test_forward_after_sender_gc(self):
+        # Intermediate copy at machine 1 is GC'd at deadline+gc = 150.
+        scenario = _scenario()
+        schedule = Schedule()
+        schedule.add_step(0, 0, 1, 0, 0.0, 1.0)
+        schedule.add_step(0, 1, 2, 1, 149.5, 150.5)
+        with pytest.raises(ValidationError, match="garbage-collected"):
+            ScheduleValidator(scenario).validate(schedule)
+
+    def test_receiver_already_holds(self):
+        scenario = _scenario(
+            items=[make_item(0, 1000.0, [(0, 0.0), (1, 0.0)])]
+        )
+        schedule = Schedule()
+        schedule.add_step(0, 0, 1, 0, 0.0, 1.0)  # machine 1 is a source
+        with pytest.raises(ValidationError, match="already holds"):
+            ScheduleValidator(scenario).validate(schedule)
+
+    def test_storage_overflow(self):
+        scenario = _scenario(
+            network=line_network(3, capacity=1500.0),
+            items=[
+                make_item(0, 1000.0, [(0, 0.0)]),
+                make_item(1, 1000.0, [(0, 0.0)]),
+            ],
+            request_specs=[(0, 2, 2, 100.0), (1, 2, 0, 400.0)],
+        )
+        schedule = Schedule()
+        schedule.add_step(0, 0, 1, 0, 0.0, 1.0)
+        schedule.add_step(1, 0, 1, 0, 1.0, 2.0)  # 2000 bytes in 1500 capacity
+        with pytest.raises(ValidationError, match="storage"):
+            ScheduleValidator(scenario).validate(schedule)
+
+    def test_phantom_delivery(self):
+        scenario = _scenario()
+        schedule = Schedule()
+        schedule.add_delivery(0, arrival=5.0, hops=1)
+        with pytest.raises(ValidationError, match="no matching"):
+            ScheduleValidator(scenario).validate(schedule)
+
+    def test_missing_delivery(self):
+        scenario = _scenario()
+        schedule = _valid_two_hop_schedule(scenario)
+        stripped = Schedule()
+        stripped.extend_from(schedule.steps)
+        with pytest.raises(ValidationError, match="records no delivery"):
+            ScheduleValidator(scenario).validate(stripped)
+
+    def test_wrong_delivery_arrival(self):
+        scenario = _scenario()
+        schedule = _valid_two_hop_schedule(scenario)
+        tampered = Schedule()
+        tampered.extend_from(schedule.steps)
+        tampered.add_delivery(0, arrival=1.0, hops=2)  # actual arrival 2.0
+        with pytest.raises(ValidationError, match="records arrival"):
+            ScheduleValidator(scenario).validate(tampered)
+
+    def test_wrong_delivery_hops(self):
+        scenario = _scenario()
+        schedule = _valid_two_hop_schedule(scenario)
+        tampered = Schedule()
+        tampered.extend_from(schedule.steps)
+        tampered.add_delivery(0, arrival=2.0, hops=7)
+        with pytest.raises(ValidationError, match="hops"):
+            ScheduleValidator(scenario).validate(tampered)
+
+    def test_is_valid_returns_false(self):
+        scenario = _scenario()
+        schedule = Schedule()
+        schedule.add_step(0, 1, 2, 1, 0.0, 1.0)
+        assert not ScheduleValidator(scenario).is_valid(schedule)
+
+
+def make_window(start, end):
+    from repro.core.intervals import Interval
+
+    return Interval(start, end)

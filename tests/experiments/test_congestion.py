@@ -1,0 +1,65 @@
+"""Unit tests for the congestion and weighting sweeps (§6 future work)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.priority import PriorityWeighting
+from repro.experiments.congestion import (
+    EXTENDED_WEIGHTINGS,
+    congestion_sweep,
+    weighting_sweep,
+)
+from repro.workload.config import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return GeneratorConfig.tiny()
+
+
+class TestCongestionSweep:
+    def test_points_track_multipliers(self, small_config):
+        points = congestion_sweep(
+            (2, 6), cases=2, base_config=small_config
+        )
+        assert [p.requests_per_machine for p in points] == [2, 6]
+        assert points[1].mean_requests > points[0].mean_requests
+        for point in points:
+            assert 0.0 <= point.satisfaction_rate.mean <= 1.0
+            assert 0.0 <= point.possible_fraction.mean <= 1.0
+            assert point.weighted_sum.count == 2
+
+    def test_more_load_more_raw_value(self, small_config):
+        points = congestion_sweep(
+            (2, 8), cases=2, base_config=small_config
+        )
+        assert (
+            points[1].weighted_sum.mean >= points[0].weighted_sum.mean
+        )
+
+    def test_empty_sweep_rejected(self, small_config):
+        with pytest.raises(ConfigurationError):
+            congestion_sweep((), base_config=small_config)
+
+
+class TestWeightingSweep:
+    def test_extended_weightings_shape(self):
+        names = [w.name for w in EXTENDED_WEIGHTINGS]
+        assert names == ["flat", "linear", "1-5-10", "1-10-100", "extreme"]
+
+    def test_sweep_reports_per_class_counts(self, small_config):
+        weightings = (
+            PriorityWeighting((1, 1, 1), name="flat"),
+            PriorityWeighting((1, 10, 100), name="steep"),
+        )
+        points = weighting_sweep(
+            weightings=weightings, cases=2, base_config=small_config
+        )
+        assert [p.weighting for p in points] == ["flat", "steep"]
+        for point in points:
+            assert len(point.satisfied_by_priority) == 3
+            assert 0.0 <= point.high_priority_rate <= 1.0
+
+    def test_empty_weightings_rejected(self, small_config):
+        with pytest.raises(ConfigurationError):
+            weighting_sweep(weightings=(), base_config=small_config)

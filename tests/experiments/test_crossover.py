@@ -1,0 +1,118 @@
+"""Tests for series peak/crossover analysis."""
+
+import pytest
+
+from repro.experiments.aggregate import Aggregate
+from repro.experiments.crossover import (
+    figure_peaks,
+    find_crossovers,
+    ratio_sensitivity,
+    series_peak,
+)
+from repro.experiments.figures import FigureData, Series
+
+
+def _series(name, values, labels):
+    return Series(
+        name=name,
+        points=tuple(
+            (label, Aggregate.of([value]))
+            for label, value in zip(labels, values)
+        ),
+    )
+
+
+LABELS = ("-inf", "0", "2", "inf")
+
+
+def _figure(series):
+    return FigureData(
+        figure_id="test",
+        title="test",
+        x_labels=LABELS,
+        series=tuple(series),
+    )
+
+
+class TestSeriesPeak:
+    def test_peak_location_and_value(self):
+        series = _series("a", (1.0, 5.0, 3.0, 2.0), LABELS)
+        peak = series_peak(series)
+        assert peak.label == "0"
+        assert peak.value == 5.0
+        assert not peak.flat
+
+    def test_flat_series(self):
+        series = _series("flat", (4.0, 4.0, 4.0, 4.0), LABELS)
+        peak = series_peak(series)
+        assert peak.flat
+        assert peak.label == "-inf"  # first maximum
+
+    def test_figure_peaks_order(self):
+        figure = _figure(
+            [
+                _series("a", (1.0, 2.0, 3.0, 1.0), LABELS),
+                _series("b", (9.0, 2.0, 3.0, 1.0), LABELS),
+            ]
+        )
+        peaks = figure_peaks(figure)
+        assert [p.series for p in peaks] == ["a", "b"]
+        assert [p.label for p in peaks] == ["2", "-inf"]
+
+
+class TestCrossovers:
+    def test_single_crossover(self):
+        figure = _figure(
+            [
+                _series("a", (1.0, 2.0, 3.0, 4.0), LABELS),
+                _series("b", (2.0, 2.5, 2.5, 2.0), LABELS),
+            ]
+        )
+        crossings = find_crossovers(figure, "a", "b")
+        assert len(crossings) == 1
+        crossing = crossings[0]
+        assert crossing.left_label == "0"
+        assert crossing.right_label == "2"
+        assert crossing.left_gap < 0 < crossing.right_gap
+
+    def test_no_crossover_when_dominated(self):
+        figure = _figure(
+            [
+                _series("a", (3.0, 3.0, 3.0, 3.0), LABELS),
+                _series("b", (1.0, 2.0, 2.5, 2.9), LABELS),
+            ]
+        )
+        assert find_crossovers(figure, "a", "b") == ()
+
+    def test_tie_then_divergence_counts_once(self):
+        figure = _figure(
+            [
+                _series("a", (1.0, 2.0, 2.0, 3.0), LABELS),
+                _series("b", (2.0, 2.0, 2.0, 2.0), LABELS),
+            ]
+        )
+        crossings = find_crossovers(figure, "a", "b")
+        assert len(crossings) == 1
+        assert crossings[0].right_label == "inf"
+
+    def test_unknown_series_raises(self):
+        figure = _figure([_series("a", (1.0, 1.0, 1.0, 1.0), LABELS)])
+        with pytest.raises(KeyError):
+            find_crossovers(figure, "a", "missing")
+
+
+class TestSensitivity:
+    def test_flat_is_zero(self):
+        assert ratio_sensitivity(
+            _series("flat", (4.0, 4.0, 4.0, 4.0), LABELS)
+        ) == 0.0
+
+    def test_relative_swing(self):
+        assert ratio_sensitivity(
+            _series("a", (5.0, 10.0, 8.0, 6.0), LABELS)
+        ) == pytest.approx(0.5)
+
+    def test_zero_max(self):
+        assert ratio_sensitivity(
+            _series("zero", (0.0, 0.0, 0.0, 0.0), LABELS)
+        ) == 0.0

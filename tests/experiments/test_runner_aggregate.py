@@ -1,0 +1,116 @@
+"""Unit tests for run records and aggregation."""
+
+import pytest
+
+from repro.experiments.aggregate import (
+    Aggregate,
+    aggregate_records,
+    mean_by_scheduler,
+    per_priority_totals,
+    stddev,
+)
+from repro.experiments.runner import RunRecord, run_pair, run_scheduler
+from repro.baselines.random_dijkstra import RandomDijkstraBaseline
+
+
+def _record(scheduler="h/C4", eu="0", ws=100.0, scenario="s"):
+    return RunRecord(
+        scenario=scenario,
+        scheduler=scheduler,
+        eu_label=eu,
+        weighted_sum=ws,
+        satisfied_by_priority=(1, 2, 3),
+        total_by_priority=(2, 4, 6),
+        steps=10,
+        dijkstra_runs=5,
+        elapsed_seconds=0.1,
+        average_hops=1.5,
+    )
+
+
+class TestRunPair:
+    def test_record_fields(self, tiny_scenarios):
+        record = run_pair(tiny_scenarios[0], "full_one", "C4", 0.0)
+        assert record.scheduler == "full_one/C4"
+        assert record.eu_label == "0"
+        assert record.scenario == tiny_scenarios[0].name
+        assert record.weighted_sum >= 0
+        assert record.satisfied_count == sum(record.satisfied_by_priority)
+
+    def test_eu_independent_criterion_labelled_dash(self, tiny_scenarios):
+        record = run_pair(tiny_scenarios[0], "partial", "C3", 2.0)
+        assert record.eu_label == "-"
+
+    def test_run_scheduler_wraps_any_runner(self, tiny_scenarios):
+        record = run_scheduler(
+            tiny_scenarios[0], RandomDijkstraBaseline(seed=1)
+        )
+        assert record.scheduler == "random_dijkstra"
+
+
+class TestAggregate:
+    def test_of(self):
+        aggregate = Aggregate.of([1.0, 3.0, 5.0])
+        assert aggregate.mean == 3.0
+        assert aggregate.minimum == 1.0
+        assert aggregate.maximum == 5.0
+        assert aggregate.count == 3
+        assert aggregate.spread == 4.0
+
+    def test_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Aggregate.of([])
+
+    def test_stddev(self):
+        assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == (
+            pytest.approx(2.138, abs=1e-3)
+        )
+        assert stddev([5.0]) == 0.0
+
+
+class TestAggregateRecords:
+    def test_grouping(self):
+        records = [
+            _record(scheduler="a", eu="0", ws=10.0),
+            _record(scheduler="a", eu="0", ws=20.0),
+            _record(scheduler="a", eu="1", ws=99.0),
+            _record(scheduler="b", eu="0", ws=5.0),
+        ]
+        grouped = mean_by_scheduler(records)
+        assert grouped[("a", "0")].mean == 15.0
+        assert grouped[("a", "1")].count == 1
+        assert grouped[("b", "0")].mean == 5.0
+
+    def test_custom_metric(self):
+        records = [_record(ws=1.0), _record(ws=2.0)]
+        grouped = aggregate_records(
+            records, key=lambda r: (r.scheduler,), metric=lambda r: r.steps
+        )
+        assert grouped[("h/C4",)].mean == 10.0
+
+
+class TestPerPriorityTotals:
+    def test_means(self):
+        satisfied, totals = per_priority_totals([_record(), _record()])
+        assert satisfied == (1.0, 2.0, 3.0)
+        assert totals == (2.0, 4.0, 6.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            per_priority_totals([])
+
+    def test_inconsistent_widths_rejected(self):
+        narrow = RunRecord(
+            scenario="s",
+            scheduler="h",
+            eu_label="0",
+            weighted_sum=1.0,
+            satisfied_by_priority=(1,),
+            total_by_priority=(1,),
+            steps=0,
+            dijkstra_runs=0,
+            elapsed_seconds=0.0,
+            average_hops=0.0,
+        )
+        with pytest.raises(ValueError):
+            per_priority_totals([_record(), narrow])

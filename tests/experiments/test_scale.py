@@ -1,0 +1,55 @@
+"""Unit tests for the REPRO_SCALE experiment-scale knob."""
+
+import pytest
+
+from repro.cost.weights import PAPER_LOG_RATIOS
+from repro.errors import ConfigurationError
+from repro.experiments.scale import (
+    SCALE_ENV_VAR,
+    current_scale,
+    scale_by_name,
+)
+
+
+class TestScaleByName:
+    def test_ci_scale(self):
+        scale = scale_by_name("ci")
+        assert scale.cases == 5
+        assert scale.config.requests_per_machine == (5, 10)
+        assert len(scale.log_ratios) < len(PAPER_LOG_RATIOS)
+        assert scale.log_ratios[0] == float("-inf")
+        assert scale.log_ratios[-1] == float("inf")
+
+    def test_full_scale(self):
+        scale = scale_by_name("full")
+        assert scale.cases == 40
+        assert scale.log_ratios == PAPER_LOG_RATIOS
+        assert scale.config.requests_per_machine == (5, 10)
+
+    def test_paper_scale(self):
+        scale = scale_by_name("paper")
+        assert scale.cases == 40
+        assert scale.config.requests_per_machine == (20, 40)
+        assert scale.log_ratios == PAPER_LOG_RATIOS
+
+    def test_case_insensitive(self):
+        assert scale_by_name(" CI ").name == "ci"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scale_by_name("huge")
+
+
+class TestCurrentScale:
+    def test_default_is_ci(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        assert current_scale().name == "ci"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "full")
+        assert current_scale().name == "full"
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "nope")
+        with pytest.raises(ConfigurationError):
+            current_scale()

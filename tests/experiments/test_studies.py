@@ -1,0 +1,85 @@
+"""Unit tests for the §5.4 studies (weightings, tiers, runtime)."""
+
+from repro.core.priority import WEIGHTING_1_5_10
+from repro.experiments.studies import (
+    priority_tier_comparison,
+    regenerate_under_weighting,
+    runtime_study,
+    weighting_comparison,
+)
+
+
+class TestRegenerateUnderWeighting:
+    def test_same_cases_different_weighting(self, tiny_generator):
+        scenarios = regenerate_under_weighting(
+            tiny_generator, [1, 2], WEIGHTING_1_5_10
+        )
+        assert all(s.weighting is WEIGHTING_1_5_10 for s in scenarios)
+        originals = [tiny_generator.generate(seed) for seed in (1, 2)]
+        for regen, orig in zip(scenarios, originals):
+            assert [r.priority for r in regen.requests] == [
+                r.priority for r in orig.requests
+            ]
+            assert [r.deadline for r in regen.requests] == [
+                r.deadline for r in orig.requests
+            ]
+
+
+class TestWeightingComparison:
+    def test_outcomes_per_weighting(self, tiny_generator):
+        outcomes = weighting_comparison(
+            tiny_generator, seeds=[100, 101], heuristic="full_one"
+        )
+        assert [o.weighting for o in outcomes] == ["1-5-10", "1-10-100"]
+        for outcome in outcomes:
+            assert outcome.mean_weighted_sum > 0
+            assert len(outcome.mean_satisfied_by_priority) == 3
+            # Satisfied counts never exceed totals.
+            for s, t in zip(
+                outcome.mean_satisfied_by_priority,
+                outcome.mean_total_by_priority,
+            ):
+                assert s <= t
+        # Same cases: total per-class request counts are identical.
+        assert (
+            outcomes[0].mean_total_by_priority
+            == outcomes[1].mean_total_by_priority
+        )
+
+
+class TestPriorityTierComparison:
+    def test_heuristic_never_loses(self, tiny_scenarios):
+        comparison = priority_tier_comparison(
+            tiny_scenarios[:3], heuristic="full_one", criterion="C4"
+        )
+        assert comparison.cases == 3
+        assert comparison.wins + comparison.ties <= 3
+        assert (
+            comparison.heuristic_weighted_sum
+            >= comparison.tier_weighted_sum - 1e-9
+        )
+
+    def test_labels(self, tiny_scenarios):
+        comparison = priority_tier_comparison(
+            tiny_scenarios[:1], heuristic="partial", criterion="C2"
+        )
+        assert comparison.scheduler == "partial/C2"
+
+
+class TestRuntimeStudy:
+    def test_default_pairs(self, tiny_scenarios):
+        rows = runtime_study(tiny_scenarios[:2])
+        assert len(rows) == 11  # the paper's pairings
+        labels = [row.scheduler for row in rows]
+        assert "full_all/C1" not in labels
+        for row in rows:
+            assert row.elapsed.mean >= 0.0
+            assert row.dijkstra_runs.mean >= 1.0
+            assert row.steps.count == 2
+
+    def test_subset_pairs(self, tiny_scenarios):
+        rows = runtime_study(
+            tiny_scenarios[:1], pairings=[("partial", "C4")]
+        )
+        assert len(rows) == 1
+        assert rows[0].scheduler == "partial/C4"

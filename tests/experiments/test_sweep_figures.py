@@ -1,0 +1,121 @@
+"""Unit tests for E-U sweeps and the figure data producers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures import (
+    FIGURE_CRITERIA,
+    figure2,
+    heuristic_figure,
+)
+from repro.experiments.sweep import sweep_pair
+from repro.experiments.tables import render_figure, render_minmax
+
+RATIOS = (float("-inf"), 0.0, float("inf"))
+
+
+class TestSweepPair:
+    def test_one_record_per_case_per_ratio(self, tiny_scenarios):
+        records = sweep_pair(tiny_scenarios[:2], "full_one", "C4", RATIOS)
+        assert len(records) == 6
+        assert {r.eu_label for r in records} == {"-inf", "0", "inf"}
+
+    def test_eu_independent_criterion_runs_once_per_case(
+        self, tiny_scenarios
+    ):
+        records = sweep_pair(tiny_scenarios[:2], "partial", "C3", RATIOS)
+        assert len(records) == 6  # replicated across the grid
+        by_case = {}
+        for record in records:
+            by_case.setdefault(record.scenario, set()).add(
+                record.weighted_sum
+            )
+        # Identical value at every grid point (it literally ran once).
+        assert all(len(values) == 1 for values in by_case.values())
+
+
+class TestHeuristicFigure:
+    def test_series_per_criterion(self, tiny_scenarios):
+        data = heuristic_figure(tiny_scenarios[:2], "full_all", RATIOS)
+        assert data.figure_id == "figure5"
+        assert [s.name for s in data.series] == [
+            "full_all/C2",
+            "full_all/C3",
+            "full_all/C4",
+        ]
+        assert data.x_labels == ("-inf", "0", "inf")
+
+    def test_empty_case_list_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            heuristic_figure((), "partial", RATIOS)
+        with pytest.raises(ConfigurationError):
+            figure2((), RATIOS)
+
+    def test_figure_criteria_map(self):
+        assert FIGURE_CRITERIA["partial"] == ("C1", "C2", "C3", "C4")
+        assert "C1" not in FIGURE_CRITERIA["full_all"]
+
+    def test_unknown_heuristic_rejected(self, tiny_scenarios):
+        with pytest.raises(ConfigurationError):
+            heuristic_figure(tiny_scenarios[:1], "bogus", RATIOS)
+
+    def test_series_lookup(self, tiny_scenarios):
+        data = heuristic_figure(tiny_scenarios[:1], "partial", RATIOS)
+        series = data.by_name("partial/C4")
+        assert len(series.values()) == 3
+        with pytest.raises(KeyError):
+            data.by_name("nope")
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def data(self, tiny_scenarios):
+        return figure2(tiny_scenarios[:2], RATIOS)
+
+    def test_series_names(self, data):
+        assert [s.name for s in data.series] == [
+            "upper_bound",
+            "possible_satisfy",
+            "partial/C4",
+            "full_one/C4",
+            "full_all/C4",
+            "random_Dijkstra",
+            "single_Dij_random",
+        ]
+
+    def test_bounds_are_flat(self, data):
+        for name in ("upper_bound", "possible_satisfy", "random_Dijkstra"):
+            values = data.by_name(name).values()
+            assert len(set(values)) == 1
+
+    def test_bound_ordering_holds_pointwise(self, data):
+        upper = data.by_name("upper_bound").values()
+        possible = data.by_name("possible_satisfy").values()
+        for heuristic in ("partial/C4", "full_one/C4", "full_all/C4"):
+            achieved = data.by_name(heuristic).values()
+            for u, p, a in zip(upper, possible, achieved):
+                assert a <= p <= u
+
+    def test_point_lookup(self, data):
+        aggregate = data.by_name("upper_bound").point("0")
+        assert aggregate.count == 2
+        with pytest.raises(KeyError):
+            data.by_name("upper_bound").point("7")
+
+
+class TestRendering:
+    def test_render_figure_contains_all_series(self, tiny_scenarios):
+        data = heuristic_figure(tiny_scenarios[:1], "full_all", RATIOS)
+        text = render_figure(data)
+        assert "figure5" in text
+        for series in data.series:
+            assert series.name in text
+        assert "-inf" in text and "inf" in text
+
+    def test_render_minmax(self, tiny_scenarios):
+        data = heuristic_figure(tiny_scenarios[:2], "full_all", RATIOS)
+        text = render_minmax(data, "0")
+        assert "min" in text and "max" in text
+        assert "full_all/C4" in text

@@ -1,0 +1,31 @@
+"""Unit tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.experiments.tables import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", "1"], ["long-name", "12345"]],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1] == "-" * len(lines[0])
+        # Right-aligned numeric column.
+        assert lines[2].endswith("    1")
+        assert lines[3].endswith("12345")
+
+    def test_title(self):
+        text = render_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_header_only(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])

@@ -1,0 +1,152 @@
+"""Shared construction helpers for the test suite.
+
+Small, explicit factories for networks and scenarios so individual tests
+can state exactly the topology and timing they exercise without repeating
+boilerplate.  All helpers use simple round numbers (bandwidth 1000 B/s,
+zero latency unless stated) so expected arrival times can be computed by
+hand in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.data import DataItem, SourceLocation
+from repro.core.intervals import Interval
+from repro.core.link import PhysicalLink
+from repro.core.machine import Machine
+from repro.core.network import Network
+from repro.core.priority import PriorityWeighting, WEIGHTING_1_10_100
+from repro.core.request import Request
+from repro.core.scenario import Scenario
+
+#: Convenient always-open window for tests that don't exercise windows.
+ALWAYS = Interval(0.0, 1_000_000.0)
+
+
+def make_link(
+    physical_id: int,
+    source: int,
+    destination: int,
+    bandwidth: float = 1000.0,
+    latency: float = 0.0,
+    windows: Sequence[Interval] = (ALWAYS,),
+) -> PhysicalLink:
+    """A physical link with hand-friendly defaults (1000 B/s, no latency)."""
+    return PhysicalLink(
+        physical_id=physical_id,
+        source=source,
+        destination=destination,
+        bandwidth=bandwidth,
+        latency=latency,
+        windows=tuple(windows),
+    )
+
+
+def make_network(
+    machine_count: int,
+    links: Sequence[PhysicalLink],
+    capacity: float = 1_000_000.0,
+    capacities: Optional[Dict[int, float]] = None,
+) -> Network:
+    """A network of ``machine_count`` machines with the given links.
+
+    Args:
+        machine_count: number of machines (indices 0..n-1).
+        links: the physical links.
+        capacity: default storage per machine.
+        capacities: optional per-machine capacity overrides.
+    """
+    overrides = capacities or {}
+    machines = tuple(
+        Machine(index=i, capacity=overrides.get(i, capacity))
+        for i in range(machine_count)
+    )
+    return Network(machines, tuple(links))
+
+
+def line_network(
+    machine_count: int = 3,
+    bandwidth: float = 1000.0,
+    capacity: float = 1_000_000.0,
+    latency: float = 0.0,
+) -> Network:
+    """Machines 0 -> 1 -> ... -> n-1 -> 0 (a strongly connected ring)."""
+    links = [
+        make_link(i, i, (i + 1) % machine_count, bandwidth, latency)
+        for i in range(machine_count)
+    ]
+    return make_network(machine_count, links, capacity=capacity)
+
+
+def make_item(
+    item_id: int,
+    size: float,
+    sources: Sequence[Tuple[int, float]],
+    name: str = "",
+) -> DataItem:
+    """A data item from ``(machine, available_from)`` source tuples."""
+    return DataItem(
+        item_id=item_id,
+        name=name or f"item-{item_id}",
+        size=size,
+        sources=tuple(
+            SourceLocation(machine=machine, available_from=available)
+            for machine, available in sources
+        ),
+    )
+
+
+def make_scenario(
+    network: Network,
+    items: Sequence[DataItem],
+    request_specs: Sequence[Tuple[int, int, int, float]],
+    weighting: PriorityWeighting = WEIGHTING_1_10_100,
+    gc_delay: float = 360.0,
+    horizon: float = 1_000_000.0,
+    name: str = "test",
+) -> Scenario:
+    """A scenario from ``(item_id, destination, priority, deadline)`` specs."""
+    requests = tuple(
+        Request(
+            request_id=index,
+            item_id=item_id,
+            destination=destination,
+            priority=priority,
+            deadline=deadline,
+        )
+        for index, (item_id, destination, priority, deadline) in enumerate(
+            request_specs
+        )
+    )
+    return Scenario(
+        network=network,
+        items=tuple(items),
+        requests=requests,
+        weighting=weighting,
+        gc_delay=gc_delay,
+        horizon=horizon,
+        name=name,
+    )
+
+
+def single_item_line_scenario(
+    size: float = 1000.0,
+    deadline: float = 100.0,
+    priority: int = 2,
+    machine_count: int = 3,
+    bandwidth: float = 1000.0,
+    capacity: float = 1_000_000.0,
+) -> Scenario:
+    """One item at machine 0, one request at the line's last machine.
+
+    With the defaults the item takes ``size/bandwidth`` = 1 s per hop and
+    two hops to reach machine 2, so arrival is at t=2.0.
+    """
+    network = line_network(machine_count, bandwidth, capacity)
+    item = make_item(0, size, [(0, 0.0)])
+    return make_scenario(
+        network,
+        [item],
+        [(0, machine_count - 1, priority, deadline)],
+    )

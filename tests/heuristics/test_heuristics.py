@@ -1,0 +1,221 @@
+"""Behavioural tests for the three staging heuristics."""
+
+import pytest
+
+from repro.core.evaluation import evaluate_schedule
+from repro.core.state import NetworkState
+from repro.core.validation import ScheduleValidator
+from repro.cost.criteria import Cost1, Cost4, get_criterion
+from repro.cost.weights import EUWeights
+from repro.errors import ConfigurationError
+from repro.heuristics.base import EngineStats, TreeCache
+from repro.heuristics.full_path_all import FullPathAllDestinationsHeuristic
+from repro.heuristics.full_path_one import FullPathOneDestinationHeuristic
+from repro.heuristics.partial_path import PartialPathHeuristic
+from repro.heuristics.registry import make_heuristic
+
+from tests.helpers import (
+    line_network,
+    make_item,
+    make_link,
+    make_network,
+    make_scenario,
+)
+
+
+def _star_scenario():
+    """Item at 0; requests at 2 and 3, both via intermediate machine 1."""
+    network = make_network(
+        4,
+        [make_link(0, 0, 1), make_link(1, 1, 2), make_link(2, 1, 3)],
+    )
+    return make_scenario(
+        network,
+        [make_item(0, 1000.0, [(0, 0.0)])],
+        [(0, 2, 2, 100.0), (0, 3, 1, 100.0)],
+    )
+
+
+def _run(cls, scenario, criterion="C4", log_ratio=0.0, **kwargs):
+    heuristic = cls(
+        criterion=get_criterion(criterion),
+        weights=EUWeights.from_log_ratio(log_ratio),
+        **kwargs,
+    )
+    result = heuristic.run(scenario)
+    ScheduleValidator(scenario).validate(result.schedule)
+    return result
+
+
+class TestPartialPath:
+    def test_books_one_hop_per_iteration(self):
+        result = _run(PartialPathHeuristic, _star_scenario())
+        assert result.stats.iterations == result.schedule.step_count == 3
+
+    def test_satisfies_both_requests(self):
+        scenario = _star_scenario()
+        result = _run(PartialPathHeuristic, scenario)
+        effect = evaluate_schedule(scenario, result.schedule)
+        assert effect.satisfied_count == 2
+        assert effect.weighted_sum == 110.0
+
+    def test_schedules_nothing_when_nothing_satisfiable(self):
+        scenario = make_scenario(
+            line_network(3),
+            [make_item(0, 1000.0, [(0, 0.0)])],
+            [(0, 2, 2, 0.5)],  # impossible deadline
+        )
+        result = _run(PartialPathHeuristic, scenario)
+        assert result.schedule.step_count == 0
+        assert result.stats.iterations == 0
+
+    def test_prefers_higher_priority_when_urgency_equal(self):
+        # Two items compete for the same link with identical deadlines;
+        # only one can make it.  The high-priority one must win.
+        network = make_network(
+            2,
+            [make_link(0, 0, 1, bandwidth=1000.0, windows=[_window(0, 1.0)])],
+        )
+        scenario = make_scenario(
+            network,
+            [
+                make_item(0, 1000.0, [(0, 0.0)]),  # 1 s transfer
+                make_item(1, 1000.0, [(0, 0.0)]),
+            ],
+            [(0, 1, 0, 10.0), (1, 1, 2, 10.0)],
+        )
+        result = _run(PartialPathHeuristic, scenario, log_ratio=5.0)
+        effect = evaluate_schedule(scenario, result.schedule)
+        assert effect.satisfied_by_priority == (0, 0, 1)
+
+
+class TestFullPathOne:
+    def test_books_whole_path_per_iteration(self):
+        result = _run(FullPathOneDestinationHeuristic, _star_scenario())
+        # Iteration 1: path 0->1->2 (or ->3); iteration 2: remaining 1-hop.
+        assert result.schedule.step_count == 3
+        assert result.stats.iterations == 2
+
+    def test_satisfies_both_requests(self):
+        scenario = _star_scenario()
+        result = _run(FullPathOneDestinationHeuristic, scenario)
+        effect = evaluate_schedule(scenario, result.schedule)
+        assert effect.satisfied_count == 2
+
+    def test_c1_selects_explicit_destination(self):
+        scenario = _star_scenario()
+        result = _run(
+            FullPathOneDestinationHeuristic,
+            scenario,
+            criterion="C1",
+            log_ratio=5.0,
+        )
+        # With priority-dominated weights, C1 prices the high-priority
+        # destination (request 0 at machine 2) best; the first completed
+        # delivery must be machine 2's.
+        first_delivery_step = result.schedule.steps[1]
+        assert first_delivery_step.destination == 2
+
+
+class TestFullPathAll:
+    def test_books_paths_to_all_group_destinations_at_once(self):
+        result = _run(FullPathAllDestinationsHeuristic, _star_scenario())
+        assert result.schedule.step_count == 3
+        assert result.stats.iterations == 1  # one group served everything
+
+    def test_shared_prefix_booked_once(self):
+        scenario = _star_scenario()
+        result = _run(FullPathAllDestinationsHeuristic, scenario)
+        hops_to_1 = [
+            step
+            for step in result.schedule.steps
+            if step.destination == 1
+        ]
+        assert len(hops_to_1) == 1
+
+    def test_rejects_cost1(self):
+        with pytest.raises(ConfigurationError):
+            FullPathAllDestinationsHeuristic(
+                criterion=Cost1(), weights=EUWeights(1.0, 1.0)
+            )
+
+    def test_fewer_dijkstra_runs_than_partial(self):
+        scenario = _star_scenario()
+        partial = _run(PartialPathHeuristic, scenario)
+        full_all = _run(FullPathAllDestinationsHeuristic, scenario)
+        assert (
+            full_all.stats.dijkstra_runs <= partial.stats.dijkstra_runs
+        )
+
+
+class TestTreeCacheEquivalence:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            PartialPathHeuristic,
+            FullPathOneDestinationHeuristic,
+            FullPathAllDestinationsHeuristic,
+        ],
+    )
+    @pytest.mark.parametrize("criterion", ["C2", "C4"])
+    def test_cached_and_uncached_schedules_match(
+        self, cls, criterion, tiny_scenarios
+    ):
+        for scenario in tiny_scenarios[:3]:
+            cached = _run(cls, scenario, criterion=criterion)
+            uncached = _run(
+                cls, scenario, criterion=criterion, use_tree_cache=False
+            )
+            assert [
+                (s.item_id, s.link_id, s.start, s.end)
+                for s in cached.schedule.steps
+            ] == [
+                (s.item_id, s.link_id, s.start, s.end)
+                for s in uncached.schedule.steps
+            ]
+            assert (
+                cached.schedule.satisfied_request_ids()
+                == uncached.schedule.satisfied_request_ids()
+            )
+            assert cached.stats.dijkstra_runs <= uncached.stats.dijkstra_runs
+
+    def test_cache_hits_reported(self, tiny_scenarios):
+        result = _run(PartialPathHeuristic, tiny_scenarios[0])
+        assert result.stats.cache_hits > 0
+
+
+class TestDrainWithPriorities:
+    def test_tier_filter_limits_scheduling(self):
+        scenario = _star_scenario()  # priorities 2 and 1
+        heuristic = FullPathOneDestinationHeuristic(
+            criterion=Cost4(), weights=EUWeights(1.0, 1.0)
+        )
+        state = NetworkState(scenario, schedule_name="tiered")
+        stats = EngineStats()
+        cache = TreeCache(state, stats)
+        heuristic.drain(state, cache, stats, priorities=frozenset({2}))
+        assert state.is_satisfied(0)
+        assert not state.is_satisfied(1)
+        heuristic.drain(state, cache, stats, priorities=frozenset({1}))
+        assert state.is_satisfied(1)
+        ScheduleValidator(scenario).validate(state.schedule)
+
+
+class TestRegistryConstruction:
+    def test_labels(self):
+        assert make_heuristic("partial", "C2").label() == "partial/C2"
+        assert make_heuristic("full_all", "C3").label() == "full_all/C3"
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_heuristic("bogus")
+
+    def test_full_all_c1_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_heuristic("full_all", "C1")
+
+
+def _window(start, end):
+    from repro.core.intervals import Interval
+
+    return Interval(start, end)

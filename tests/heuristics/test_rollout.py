@@ -1,0 +1,84 @@
+"""Tests for the rollout (one-step lookahead) scheduler."""
+
+import pytest
+
+from repro.core.evaluation import evaluate_schedule
+from repro.core.intervals import Interval
+from repro.core.validation import ScheduleValidator
+from repro.errors import ConfigurationError
+from repro.heuristics.registry import make_heuristic
+from repro.heuristics.rollout import RolloutScheduler
+
+from tests.helpers import make_item, make_link, make_network, make_scenario
+
+
+def _greedy_trap_scenario():
+    """Greedy urgency ships A (worth 10); shipping B and C is worth 20."""
+    network = make_network(
+        2, [make_link(0, 0, 1, bandwidth=1000.0, windows=[Interval(0, 2)])]
+    )
+    items = [
+        make_item(0, 2000.0, [(0, 0.0)], name="A"),
+        make_item(1, 1000.0, [(0, 0.0)], name="B"),
+        make_item(2, 1000.0, [(0, 0.0)], name="C"),
+    ]
+    specs = [(0, 1, 1, 2.0), (1, 1, 1, 10.0), (2, 1, 1, 10.0)]
+    return make_scenario(network, items, specs)
+
+
+class TestConstruction:
+    def test_bad_beam_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RolloutScheduler(beam_width=0)
+
+    def test_label(self):
+        scheduler = RolloutScheduler("partial", "C2", 1.0, beam_width=4)
+        assert scheduler.label() == "rollout(partial/C2, k=4)"
+
+
+class TestLookahead:
+    def test_escapes_the_greedy_trap(self):
+        scenario = _greedy_trap_scenario()
+        greedy = make_heuristic("partial", "C4", float("-inf")).run(scenario)
+        greedy_value = evaluate_schedule(
+            scenario, greedy.schedule
+        ).weighted_sum
+        assert greedy_value == 10.0
+
+        rollout = RolloutScheduler(
+            "partial", "C4", float("-inf"), beam_width=3
+        ).run(scenario)
+        ScheduleValidator(scenario).validate(rollout.schedule)
+        value = evaluate_schedule(scenario, rollout.schedule).weighted_sum
+        assert value == 20.0
+
+    def test_never_worse_than_base_on_random_suites(self, tiny_scenarios):
+        for scenario in tiny_scenarios[:4]:
+            base = make_heuristic("full_one", "C4", 2.0).run(scenario)
+            base_value = evaluate_schedule(
+                scenario, base.schedule
+            ).weighted_sum
+            rollout = RolloutScheduler(
+                "full_one", "C4", 2.0, beam_width=3
+            ).run(scenario)
+            ScheduleValidator(scenario).validate(rollout.schedule)
+            value = evaluate_schedule(
+                scenario, rollout.schedule
+            ).weighted_sum
+            assert value >= base_value - 1e-9
+
+    def test_beam_width_one_matches_base(self, tiny_scenarios):
+        scenario = tiny_scenarios[0]
+        base = make_heuristic("full_one", "C4", 2.0).run(scenario)
+        narrow = RolloutScheduler(
+            "full_one", "C4", 2.0, beam_width=1
+        ).run(scenario)
+        assert [
+            (s.item_id, s.link_id, s.start) for s in narrow.schedule.steps
+        ] == [(s.item_id, s.link_id, s.start) for s in base.schedule.steps]
+
+    def test_stats_account_rollout_dijkstras(self, tiny_scenarios):
+        scenario = tiny_scenarios[0]
+        rollout = RolloutScheduler("full_one", "C4", 2.0).run(scenario)
+        base = make_heuristic("full_one", "C4", 2.0).run(scenario)
+        assert rollout.stats.dijkstra_runs > base.stats.dijkstra_runs

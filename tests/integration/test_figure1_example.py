@@ -1,0 +1,73 @@
+"""The paper's worked §4.8 example, reproduced literally.
+
+§4.8 walks through ``Sat[i,r](j)`` on the Figure 1 network: ``Rq[0]``
+moves from ``M[0]`` toward machine ``M[3]``; the destinations reachable
+through ``M[3]`` are ``M[7]``, ``M[8]``, ``M[9]`` with deadlines 10, 15, 5
+and shortest-path arrivals 12, 11, 8 — giving ``Sat = (0, 1, 0)``.  This
+test builds a network realizing exactly those numbers and checks the
+library computes the same satisfiability vector, effective priorities,
+and candidate grouping.
+"""
+
+from repro.core.state import NetworkState
+from repro.heuristics.candidates import enumerate_groups
+from repro.routing.dijkstra import compute_shortest_path_tree
+
+from tests.helpers import make_item, make_link, make_network, make_scenario
+
+#: Item size (bytes); per-link bandwidths below realize the §4.8 arrival
+#: times 12 / 11 / 8 via M[3] at 3 seconds.
+SIZE = 3000.0
+
+
+def _figure1_scenario():
+    network = make_network(
+        10,
+        [
+            make_link(0, 0, 3, bandwidth=SIZE / 3.0),   # arrive M[3] at 3
+            make_link(1, 3, 7, bandwidth=SIZE / 9.0),   # arrive M[7] at 12
+            make_link(2, 3, 8, bandwidth=SIZE / 8.0),   # arrive M[8] at 11
+            make_link(3, 3, 9, bandwidth=SIZE / 5.0),   # arrive M[9] at 8
+        ],
+    )
+    return make_scenario(
+        network,
+        [make_item(0, SIZE, [(0, 0.0)])],
+        [
+            (0, 7, 1, 10.0),  # j=0: deadline 10, arrival 12 -> Sat 0
+            (0, 8, 1, 15.0),  # j=1: deadline 15, arrival 11 -> Sat 1
+            (0, 9, 1, 5.0),   # j=2: deadline 5,  arrival 8  -> Sat 0
+        ],
+    )
+
+
+class TestSection48Example:
+    def test_arrival_times_match_the_paper(self):
+        scenario = _figure1_scenario()
+        tree = compute_shortest_path_tree(NetworkState(scenario), 0)
+        assert tree.arrival(3) == 3.0
+        assert tree.arrival(7) == 12.0
+        assert tree.arrival(8) == 11.0
+        assert tree.arrival(9) == 8.0
+
+    def test_sat_vector_is_0_1_0(self):
+        scenario = _figure1_scenario()
+        state = NetworkState(scenario)
+        tree = compute_shortest_path_tree(state, 0)
+        groups = enumerate_groups(state, 0, tree, scenario.weighting)
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.next_machine == 3  # the Drq[0,3] of the example
+        sat = tuple(int(e.satisfiable) for e in group.evaluations)
+        assert sat == (0, 1, 0)
+
+    def test_effective_priorities_zero_out_unsatisfiable(self):
+        scenario = _figure1_scenario()
+        state = NetworkState(scenario)
+        tree = compute_shortest_path_tree(state, 0)
+        group = enumerate_groups(state, 0, tree, scenario.weighting)[0]
+        efps = [e.effective_priority for e in group.evaluations]
+        # Priority 1 under (1, 10, 100) weighs 10; Sat gates it.
+        assert efps == [0.0, 10.0, 0.0]
+        urgencies = [e.urgency for e in group.evaluations]
+        assert urgencies == [0.0, -(15.0 - 11.0), 0.0]

@@ -1,0 +1,81 @@
+"""End-to-end tests with non-standard priority class counts.
+
+The paper uses three classes; the model supports any ``0..P``.  These
+tests drive the full stack (state, routing, criteria, heuristics, tier
+baseline, evaluation) with five classes and with a single class.
+"""
+
+import pytest
+
+from repro.baselines.priority_tier import PriorityTierScheduler
+from repro.core.evaluation import evaluate_schedule
+from repro.core.priority import PriorityWeighting
+from repro.core.validation import ScheduleValidator
+from repro.heuristics.registry import make_heuristic
+
+from tests.helpers import line_network, make_item, make_scenario
+
+
+@pytest.fixture
+def five_class_scenario():
+    weighting = PriorityWeighting((1, 3, 9, 27, 81), name="powers-of-3")
+    network = line_network(4)
+    items = [
+        make_item(i, 1000.0, [(i % 2, 0.0)]) for i in range(5)
+    ]
+    specs = [
+        (0, 2, 0, 200.0),
+        (1, 3, 1, 200.0),
+        (2, 2, 2, 200.0),
+        (3, 3, 3, 200.0),
+        (4, 2, 4, 200.0),
+    ]
+    return make_scenario(network, items, specs, weighting=weighting)
+
+
+class TestFiveClasses:
+    @pytest.mark.parametrize("heuristic", ["partial", "full_one", "full_all"])
+    def test_heuristics_handle_five_classes(
+        self, heuristic, five_class_scenario
+    ):
+        scenario = five_class_scenario
+        result = make_heuristic(heuristic, "C4", 1.0).run(scenario)
+        ScheduleValidator(scenario).validate(result.schedule)
+        effect = evaluate_schedule(scenario, result.schedule)
+        assert len(effect.satisfied_by_priority) == 5
+        assert effect.weighted_sum > 0
+
+    def test_tier_scheduler_walks_all_five_tiers(self, five_class_scenario):
+        scenario = five_class_scenario
+        result = PriorityTierScheduler(weights=1.0).run(scenario)
+        ScheduleValidator(scenario).validate(result.schedule)
+        effect = evaluate_schedule(scenario, result.schedule)
+        # The uncontended line network satisfies everything.
+        assert effect.satisfied_count == 5
+
+    def test_weighting_applied_per_class(self, five_class_scenario):
+        scenario = five_class_scenario
+        result = make_heuristic("full_one", "C4", 1.0).run(scenario)
+        effect = evaluate_schedule(scenario, result.schedule)
+        expected = sum(
+            scenario.weighting.weight(request.priority)
+            for request in scenario.requests
+            if result.schedule.is_satisfied(request.request_id)
+        )
+        assert effect.weighted_sum == expected
+
+
+class TestSingleClass:
+    def test_degenerate_single_priority(self):
+        weighting = PriorityWeighting((1,), name="uniform")
+        scenario = make_scenario(
+            line_network(3),
+            [make_item(0, 1000.0, [(0, 0.0)])],
+            [(0, 2, 0, 100.0)],
+            weighting=weighting,
+        )
+        result = make_heuristic("partial", "C4", 0.0).run(scenario)
+        ScheduleValidator(scenario).validate(result.schedule)
+        effect = evaluate_schedule(scenario, result.schedule)
+        assert effect.weighted_sum == 1.0
+        assert effect.satisfied_by_priority == (1,)

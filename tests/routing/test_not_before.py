@@ -1,0 +1,73 @@
+"""Unit tests for the routing layer's wall-clock lower bound."""
+
+from repro.core.state import NetworkState
+from repro.routing.dijkstra import compute_shortest_path_tree
+
+from tests.helpers import line_network, make_item, make_scenario
+
+
+def _scenario(gc_delay=50.0):
+    return make_scenario(
+        line_network(3),
+        [make_item(0, 1000.0, [(0, 0.0)])],
+        [(0, 2, 2, 100.0)],
+        gc_delay=gc_delay,
+        horizon=1000.0,
+    )
+
+
+class TestNotBefore:
+    def test_seeds_clamped_to_now(self):
+        scenario = _scenario()
+        state = NetworkState(scenario)
+        tree = compute_shortest_path_tree(state, 0, not_before=25.0)
+        assert tree.arrival(0) == 25.0  # the source itself, clamped
+        assert tree.arrival(1) == 26.0
+        assert tree.arrival(2) == 27.0
+
+    def test_zero_now_matches_default(self):
+        scenario = _scenario()
+        state = NetworkState(scenario)
+        default = compute_shortest_path_tree(state, 0)
+        explicit = compute_shortest_path_tree(state, 0, not_before=0.0)
+        for machine in range(3):
+            assert default.arrival(machine) == explicit.arrival(machine)
+
+    def test_planned_hops_start_at_or_after_now(self):
+        scenario = _scenario()
+        state = NetworkState(scenario)
+        tree = compute_shortest_path_tree(state, 0, not_before=40.0)
+        path = tree.path_to(2)
+        for hop in path.hops:
+            assert hop.start >= 40.0
+
+    def test_expired_intermediate_copy_not_seeded(self):
+        # Stage the item on machine 1 (gc release at 150); after that
+        # instant the copy cannot seed a search.
+        scenario = _scenario()
+        state = NetworkState(scenario)
+        state.book_transfer(
+            state.earliest_transfer(0, scenario.network.link(0), 0.0)
+        )
+        before = compute_shortest_path_tree(state, 0, not_before=100.0)
+        assert 1 in before.seed_machines()
+        after = compute_shortest_path_tree(state, 0, not_before=200.0)
+        assert 1 not in after.seed_machines()
+        # The original source (held to the horizon) still seeds.
+        assert 0 in after.seed_machines()
+
+    def test_now_beyond_every_window_means_unreachable(self):
+        from repro.core.intervals import Interval
+        from tests.helpers import make_link, make_network
+
+        network = make_network(
+            2, [make_link(0, 0, 1, windows=[Interval(0, 10)])]
+        )
+        scenario = make_scenario(
+            network,
+            [make_item(0, 1000.0, [(0, 0.0)])],
+            [(0, 1, 2, 90.0)],
+        )
+        state = NetworkState(scenario)
+        tree = compute_shortest_path_tree(state, 0, not_before=50.0)
+        assert not tree.is_reachable(1)

@@ -1,0 +1,147 @@
+"""Unit tests for the schedule-analysis utilities."""
+
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.stats import (
+    delivery_latency,
+    link_utilization,
+    schedule_stats,
+    storage_peaks,
+)
+from repro.core.schedule import Schedule
+from repro.core.state import NetworkState
+from repro.heuristics.registry import make_heuristic
+
+from tests.helpers import line_network, make_item, make_scenario
+
+
+@pytest.fixture
+def scheduled():
+    """A 3-machine line scenario with its two-hop schedule."""
+    scenario = make_scenario(
+        line_network(3),
+        [make_item(0, 1000.0, [(0, 0.0)])],
+        [(0, 2, 2, 100.0)],
+        gc_delay=50.0,
+        horizon=1000.0,
+    )
+    state = NetworkState(scenario)
+    network = scenario.network
+    state.book_transfer(state.earliest_transfer(0, network.link(0), 0.0))
+    state.book_transfer(state.earliest_transfer(0, network.link(1), 1.0))
+    return scenario, state.schedule
+
+
+class TestLinkUtilization:
+    def test_used_and_unused_links(self, scheduled):
+        scenario, schedule = scheduled
+        utilization = link_utilization(scenario, schedule)
+        assert len(utilization) == 3  # every virtual link reported
+        assert utilization[0].busy_seconds == 1.0
+        assert utilization[0].transfers == 1
+        assert utilization[2].busy_seconds == 0.0
+        assert utilization[2].transfers == 0
+        assert 0.0 < utilization[0].utilization < 1.0
+
+    def test_utilization_clamped(self):
+        from repro.analysis.stats import LinkUtilization
+
+        lu = LinkUtilization(
+            link_id=0, busy_seconds=10.0, window_seconds=5.0, transfers=2
+        )
+        assert lu.utilization == 1.0
+        empty = LinkUtilization(
+            link_id=0, busy_seconds=0.0, window_seconds=0.0, transfers=0
+        )
+        assert empty.utilization == 0.0
+
+
+class TestDeliveryLatency:
+    def test_slack_statistics(self, scheduled):
+        scenario, schedule = scheduled
+        latency = delivery_latency(scenario, schedule)
+        assert latency.deliveries == 1
+        assert latency.mean_slack == 98.0  # deadline 100, arrival 2
+        assert latency.min_slack == 98.0
+        assert latency.mean_hops == 2.0
+
+    def test_empty_schedule(self, scheduled):
+        scenario, __ = scheduled
+        latency = delivery_latency(scenario, Schedule())
+        assert latency.deliveries == 0
+        assert latency.mean_slack == 0.0
+
+
+class TestStoragePeaks:
+    def test_intermediate_and_destination(self, scheduled):
+        scenario, schedule = scheduled
+        peaks = storage_peaks(scenario, schedule)
+        assert peaks[0].peak_bytes == 0.0  # source: no scheduled copy
+        assert peaks[1].peak_bytes == 1000.0
+        assert peaks[2].peak_bytes == 1000.0
+        assert peaks[1].peak_fraction == pytest.approx(0.001)
+
+    def test_overlapping_copies_stack(self):
+        scenario = make_scenario(
+            line_network(3),
+            [
+                make_item(0, 1000.0, [(0, 0.0)]),
+                make_item(1, 500.0, [(0, 0.0)]),
+            ],
+            [(0, 2, 2, 100.0), (1, 2, 1, 100.0)],
+            gc_delay=50.0,
+            horizon=1000.0,
+        )
+        state = NetworkState(scenario)
+        link0 = scenario.network.link(0)
+        state.book_transfer(state.earliest_transfer(0, link0, 0.0))
+        state.book_transfer(state.earliest_transfer(1, link0, 0.0))
+        peaks = storage_peaks(scenario, state.schedule)
+        assert peaks[1].peak_bytes == 1500.0
+
+
+class TestScheduleStats:
+    def test_summary_bundle(self, scheduled):
+        scenario, schedule = scheduled
+        stats = schedule_stats(scenario, schedule)
+        assert stats.steps == 2
+        assert stats.deliveries == 1
+        assert stats.bytes_transferred == 2000.0
+        assert stats.max_link_utilization > 0.0
+        assert stats.latency.mean_hops == 2.0
+        assert 0.0 < stats.peak_storage_fraction < 1.0
+
+    def test_on_generated_schedule(self, tiny_scenarios):
+        scenario = tiny_scenarios[0]
+        result = make_heuristic("full_one", "C4", 0.0).run(scenario)
+        stats = schedule_stats(scenario, result.schedule)
+        assert stats.steps == result.schedule.step_count
+        assert stats.deliveries == len(result.schedule.deliveries)
+
+
+class TestGantt:
+    def test_render_contains_rows_axis_legend(self, scheduled):
+        scenario, schedule = scheduled
+        text = render_gantt(scenario, schedule, width=40)
+        lines = text.splitlines()
+        assert any(line.startswith("L0[0->1]") for line in lines)
+        assert any(line.startswith("L1[1->2]") for line in lines)
+        assert "legend:" in lines[-1]
+        assert "item-0" in lines[-1]
+
+    def test_transfer_symbols_present(self, scheduled):
+        scenario, schedule = scheduled
+        text = render_gantt(scenario, schedule, width=40)
+        # Item 0 renders as symbol '0'.
+        assert "0" in text.split("|")[1]
+
+    def test_empty_schedule(self, scheduled):
+        scenario, __ = scheduled
+        text = render_gantt(scenario, Schedule(), width=30)
+        assert "|" in text  # the axis renders even with no rows
+
+    def test_width_validation(self, scheduled):
+        scenario, schedule = scheduled
+        with pytest.raises(ValueError):
+            render_gantt(scenario, schedule, width=3)

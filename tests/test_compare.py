@@ -1,0 +1,85 @@
+"""Tests for schedule comparison/diffing."""
+
+import pytest
+
+from repro.analysis.compare import compare_schedules, render_comparison
+from repro.core.schedule import Schedule
+from repro.errors import ModelError
+from repro.heuristics.registry import make_heuristic
+
+from tests.helpers import line_network, make_item, make_scenario
+
+
+@pytest.fixture
+def scenario():
+    return make_scenario(
+        line_network(3),
+        [
+            make_item(0, 1000.0, [(0, 0.0)]),
+            make_item(1, 1000.0, [(1, 0.0)]),
+        ],
+        [(0, 2, 2, 100.0), (1, 2, 1, 100.0), (1, 0, 0, 100.0)],
+    )
+
+
+def _schedule_with(deliveries):
+    schedule = Schedule("synthetic")
+    for request_id, arrival in deliveries:
+        schedule.add_delivery(request_id, arrival=arrival, hops=1)
+    return schedule
+
+
+class TestCompare:
+    def test_partition_of_deliveries(self, scenario):
+        first = _schedule_with([(0, 10.0), (1, 20.0)])
+        second = _schedule_with([(1, 25.0), (2, 30.0)])
+        comparison = compare_schedules(scenario, first, second)
+        assert comparison.only_first == (0,)
+        assert comparison.only_second == (2,)
+        assert comparison.both == (1,)
+
+    def test_weighted_sums_and_gap(self, scenario):
+        first = _schedule_with([(0, 10.0)])   # priority 2 -> 100
+        second = _schedule_with([(1, 20.0), (2, 30.0)])  # 10 + 1
+        comparison = compare_schedules(scenario, first, second)
+        assert comparison.weighted_sum_first == 100.0
+        assert comparison.weighted_sum_second == 11.0
+        assert comparison.weighted_gap == -89.0
+
+    def test_arrival_deltas_sorted_by_magnitude(self, scenario):
+        first = _schedule_with([(0, 10.0), (1, 20.0), (2, 5.0)])
+        second = _schedule_with([(0, 11.0), (1, 50.0), (2, 5.0)])
+        comparison = compare_schedules(scenario, first, second)
+        assert [d.request_id for d in comparison.arrival_deltas] == [1, 0]
+        assert comparison.arrival_deltas[0].delta == 30.0
+        # Identical arrivals (request 2) are not listed.
+        assert all(
+            d.request_id != 2 for d in comparison.arrival_deltas
+        )
+
+    def test_foreign_schedule_rejected(self, scenario):
+        foreign = _schedule_with([(99, 1.0)])
+        with pytest.raises(ModelError):
+            compare_schedules(scenario, foreign, Schedule())
+
+    def test_real_heuristics_diff(self, scenario):
+        a = make_heuristic("partial", "C4", 0.0).run(scenario).schedule
+        b = make_heuristic("full_one", "C4", 0.0).run(scenario).schedule
+        comparison = compare_schedules(scenario, a, b)
+        # This scenario is easy: both satisfy everything.
+        assert comparison.both == (0, 1, 2)
+        assert comparison.weighted_gap == 0.0
+
+
+class TestRender:
+    def test_render_mentions_names_and_counts(self, scenario):
+        first = _schedule_with([(0, 10.0), (1, 20.0)])
+        second = _schedule_with([(1, 25.0)])
+        text = render_comparison(
+            compare_schedules(scenario, first, second),
+            first_name="alpha",
+            second_name="beta",
+        )
+        assert "alpha: weighted 110" in text
+        assert "beta: weighted 10" in text
+        assert "largest arrival shift: request 1" in text

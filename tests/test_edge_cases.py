@@ -1,0 +1,98 @@
+"""Edge-case coverage across the public API surface."""
+
+import pytest
+
+from repro.core.evaluation import evaluate_schedule
+from repro.core.state import NetworkState
+from repro.core.validation import ScheduleValidator
+from repro.exhaustive.search import ExhaustiveSearch
+from repro.heuristics.registry import make_heuristic
+from repro.analysis.gantt import render_gantt
+from repro.analysis.stats import schedule_stats
+
+from tests.helpers import line_network, make_item, make_scenario
+
+
+@pytest.fixture
+def requestless_scenario():
+    """A scenario whose items nobody requests."""
+    return make_scenario(
+        line_network(3),
+        [make_item(0, 1000.0, [(0, 0.0)])],
+        [],
+    )
+
+
+class TestNoRequests:
+    def test_heuristics_return_empty_schedules(self, requestless_scenario):
+        for heuristic in ("partial", "full_one", "full_all"):
+            result = make_heuristic(heuristic, "C4", 0.0).run(
+                requestless_scenario
+            )
+            assert result.schedule.step_count == 0
+            assert result.stats.iterations == 0
+            ScheduleValidator(requestless_scenario).validate(result.schedule)
+
+    def test_exhaustive_handles_no_requests(self, requestless_scenario):
+        result = ExhaustiveSearch().solve(requestless_scenario)
+        assert result.complete
+        assert result.weighted_sum == 0.0
+
+    def test_evaluation_reports_zero_everything(self, requestless_scenario):
+        result = make_heuristic("partial", "C4", 0.0).run(
+            requestless_scenario
+        )
+        effect = evaluate_schedule(requestless_scenario, result.schedule)
+        assert effect.weighted_sum == 0.0
+        assert effect.total_count == 0
+        assert effect.satisfaction_rate() == 0.0
+
+    def test_analysis_handles_empty_schedule(self, requestless_scenario):
+        result = make_heuristic("partial", "C4", 0.0).run(
+            requestless_scenario
+        )
+        stats = schedule_stats(requestless_scenario, result.schedule)
+        assert stats.steps == 0
+        assert stats.peak_storage_fraction == 0.0
+        text = render_gantt(requestless_scenario, result.schedule)
+        assert "|" in text
+
+
+class TestZeroCapacityMachines:
+    def test_zero_capacity_intermediate_blocks_staging(self):
+        scenario = make_scenario(
+            line_network(3, capacity=0.0),
+            [make_item(0, 1000.0, [(0, 0.0)])],
+            [(0, 2, 2, 100.0)],
+        )
+        result = make_heuristic("partial", "C4", 0.0).run(scenario)
+        assert result.schedule.step_count == 0
+        assert evaluate_schedule(
+            scenario, result.schedule
+        ).satisfied_count == 0
+
+
+class TestAdjacentDestination:
+    def test_single_hop_delivery(self):
+        scenario = make_scenario(
+            line_network(2),
+            [make_item(0, 1000.0, [(0, 0.0)])],
+            [(0, 1, 2, 100.0)],
+        )
+        result = make_heuristic("full_all", "C4", 0.0).run(scenario)
+        assert result.schedule.step_count == 1
+        delivery = result.schedule.delivery(0)
+        assert delivery.hops == 1
+        assert delivery.arrival == 1.0
+
+
+class TestStateQueriesOnFreshScenario:
+    def test_unsatisfied_listing_matches_requests(self, tiny_scenarios):
+        scenario = tiny_scenarios[0]
+        state = NetworkState(scenario)
+        for item_id in scenario.requested_item_ids():
+            unsatisfied = state.unsatisfied_requests_for_item(item_id)
+            assert {r.request_id for r in unsatisfied} == {
+                r.request_id
+                for r in scenario.requests_for_item(item_id)
+            }

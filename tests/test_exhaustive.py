@@ -1,0 +1,124 @@
+"""Tests for the bounded exhaustive search."""
+
+import pytest
+
+from repro.core.evaluation import evaluate_schedule
+from repro.core.intervals import Interval
+from repro.core.validation import ScheduleValidator
+from repro.errors import ConfigurationError
+from repro.exhaustive.search import ExhaustiveSearch, SearchLimits
+from repro.heuristics.registry import make_heuristic
+from repro.workload.config import GeneratorConfig
+from repro.workload.generator import ScenarioGenerator
+
+from tests.helpers import make_item, make_link, make_network, make_scenario
+
+
+def _greedy_trap_scenario():
+    """One 2-second window; greedy urgency takes item A (worth 10), the
+    optimum ships B and C (worth 20 combined) instead.
+
+    Item A fills the whole window and has zero slack (most urgent); B and
+    C take one second each with ample slack.  An urgency-driven greedy
+    choice books A first and starves B and C.
+    """
+    network = make_network(
+        2, [make_link(0, 0, 1, bandwidth=1000.0, windows=[Interval(0, 2)])]
+    )
+    items = [
+        make_item(0, 2000.0, [(0, 0.0)], name="A"),
+        make_item(1, 1000.0, [(0, 0.0)], name="B"),
+        make_item(2, 1000.0, [(0, 0.0)], name="C"),
+    ]
+    specs = [
+        (0, 1, 1, 2.0),    # A: zero slack
+        (1, 1, 1, 10.0),   # B
+        (2, 1, 1, 10.0),   # C
+    ]
+    return make_scenario(network, items, specs)
+
+
+class TestSearchLimits:
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchLimits(max_expansions=0)
+        with pytest.raises(ConfigurationError):
+            SearchLimits(time_limit_seconds=0.0)
+
+
+class TestGreedyTrap:
+    def test_exhaustive_beats_urgency_greedy(self):
+        scenario = _greedy_trap_scenario()
+        greedy = make_heuristic(
+            "partial", "C4", float("-inf")
+        ).run(scenario)
+        greedy_value = evaluate_schedule(
+            scenario, greedy.schedule
+        ).weighted_sum
+        assert greedy_value == 10.0  # the trap fires
+
+        result = ExhaustiveSearch().solve(scenario)
+        assert result.complete
+        assert result.weighted_sum == 20.0
+        ScheduleValidator(scenario).validate(result.schedule)
+
+    def test_best_schedule_ships_b_and_c(self):
+        scenario = _greedy_trap_scenario()
+        result = ExhaustiveSearch().solve(scenario)
+        shipped = {step.item_id for step in result.schedule.steps}
+        assert shipped == {1, 2}
+
+
+class TestDomination:
+    @pytest.fixture(scope="class")
+    def tiny_contended(self):
+        config = GeneratorConfig(
+            machines=(4, 5),
+            out_degree=(1, 1),
+            requests_per_machine=(2, 3),
+            sources_per_item=(1, 1),
+            destinations_per_item=(1, 2),
+        )
+        return ScenarioGenerator(config).generate_suite(4, base_seed=700)
+
+    def test_dominates_every_heuristic_when_complete(self, tiny_contended):
+        for scenario in tiny_contended:
+            result = ExhaustiveSearch(
+                SearchLimits(max_expansions=50_000, time_limit_seconds=20.0)
+            ).solve(scenario)
+            if not result.complete:
+                continue
+            ScheduleValidator(scenario).validate(result.schedule)
+            for heuristic in ("partial", "full_one", "full_all"):
+                run = make_heuristic(heuristic, "C4", 2.0).run(scenario)
+                value = evaluate_schedule(
+                    scenario, run.schedule
+                ).weighted_sum
+                assert result.weighted_sum >= value - 1e-9
+
+    def test_never_exceeds_possible_satisfy(self, tiny_contended):
+        from repro.baselines.bounds import possible_satisfy
+
+        for scenario in tiny_contended:
+            result = ExhaustiveSearch(
+                SearchLimits(max_expansions=20_000, time_limit_seconds=10.0)
+            ).solve(scenario)
+            assert result.weighted_sum <= possible_satisfy(scenario) + 1e-9
+
+
+class TestBudgets:
+    def test_expansion_budget_marks_incomplete(self):
+        config = GeneratorConfig.tiny()
+        scenario = ScenarioGenerator(config).generate(5)
+        result = ExhaustiveSearch(
+            SearchLimits(max_expansions=2, time_limit_seconds=30.0)
+        ).solve(scenario)
+        assert not result.complete
+        # Even a truncated search returns a feasible (possibly empty)
+        # schedule.
+        ScheduleValidator(scenario).validate(result.schedule)
+
+    def test_expansions_reported(self):
+        scenario = _greedy_trap_scenario()
+        result = ExhaustiveSearch().solve(scenario)
+        assert result.expansions >= 3

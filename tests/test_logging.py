@@ -1,0 +1,31 @@
+"""Tests for the library's debug logging (observability hooks)."""
+
+import logging
+
+from repro.dynamic.driver import DynamicDriver, reveal_at_item_start
+from repro.heuristics.registry import make_heuristic
+
+
+class TestEngineLogging:
+    def test_debug_logs_emitted(self, tiny_scenarios, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.heuristics.base"):
+            make_heuristic("full_one", "C4", 2.0).run(tiny_scenarios[0])
+        messages = [record.message for record in caplog.records]
+        assert any("iteration 1:" in message for message in messages)
+        assert any("Dijkstra runs" in message for message in messages)
+
+    def test_silent_by_default(self, tiny_scenarios, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.heuristics.base"):
+            make_heuristic("full_one", "C4", 2.0).run(tiny_scenarios[0])
+        assert not caplog.records
+
+
+class TestDynamicLogging:
+    def test_pass_logs_emitted(self, tiny_scenarios, caplog):
+        scenario = tiny_scenarios[0]
+        with caplog.at_level(logging.DEBUG, logger="repro.dynamic.driver"):
+            DynamicDriver("partial", "C4", 2.0).run(
+                scenario, reveal_at_item_start(scenario)
+            )
+        messages = [record.message for record in caplog.records]
+        assert any("pass at t=" in message for message in messages)

@@ -1,0 +1,129 @@
+"""Unit tests for JSON serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.core.evaluation import evaluate_schedule
+from repro.core.validation import ScheduleValidator
+from repro.errors import ModelError
+from repro.heuristics.registry import make_heuristic
+from repro.serialization import (
+    load_scenario,
+    load_schedule,
+    save_scenario,
+    save_schedule,
+    scenario_from_dict,
+    scenario_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+class TestScenarioRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, tiny_scenarios):
+        original = tiny_scenarios[0]
+        restored = scenario_from_dict(scenario_to_dict(original))
+        assert restored.name == original.name
+        assert restored.gc_delay == original.gc_delay
+        assert restored.horizon == original.horizon
+        assert restored.weighting.weights == original.weighting.weights
+        assert restored.network.machine_count == original.network.machine_count
+        assert [m.capacity for m in restored.network.machines] == [
+            m.capacity for m in original.network.machines
+        ]
+        assert [
+            (v.source, v.destination, v.start, v.end, v.bandwidth, v.latency)
+            for v in restored.network.virtual_links
+        ] == [
+            (v.source, v.destination, v.start, v.end, v.bandwidth, v.latency)
+            for v in original.network.virtual_links
+        ]
+        assert [
+            (i.name, i.size, i.sources) for i in restored.items
+        ] == [(i.name, i.size, i.sources) for i in original.items]
+        assert restored.requests == original.requests
+
+    def test_file_round_trip(self, tiny_scenarios, tmp_path):
+        path = tmp_path / "scenario.json"
+        save_scenario(tiny_scenarios[1], path)
+        restored = load_scenario(path)
+        assert restored.request_count == tiny_scenarios[1].request_count
+        # The file is genuine JSON.
+        document = json.loads(path.read_text())
+        assert document["kind"] == "scenario"
+        assert document["format_version"] == 1
+
+    def test_restored_scenario_schedules_identically(self, tiny_scenarios):
+        original = tiny_scenarios[2]
+        restored = scenario_from_dict(scenario_to_dict(original))
+        h = make_heuristic("full_one", "C4", 0.0)
+        a = h.run(original)
+        b = h.run(restored)
+        assert (
+            evaluate_schedule(original, a.schedule).weighted_sum
+            == evaluate_schedule(restored, b.schedule).weighted_sum
+        )
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ModelError):
+            scenario_from_dict({"kind": "schedule"})
+
+    def test_missing_key_rejected(self, tiny_scenarios):
+        document = scenario_to_dict(tiny_scenarios[0])
+        del document["machines"]
+        with pytest.raises(ModelError):
+            scenario_from_dict(document)
+
+
+class TestSuiteRoundTrip:
+    def test_save_and_load_suite(self, tiny_scenarios, tmp_path):
+        from repro.serialization import load_suite, save_suite
+
+        directory = tmp_path / "suite"
+        save_suite(tiny_scenarios, directory)
+        files = sorted(directory.glob("case-*.json"))
+        assert len(files) == len(tiny_scenarios)
+        restored = load_suite(directory)
+        assert [s.name for s in restored] == [
+            s.name for s in tiny_scenarios
+        ]
+        assert [s.request_count for s in restored] == [
+            s.request_count for s in tiny_scenarios
+        ]
+
+    def test_load_empty_directory_rejected(self, tmp_path):
+        from repro.serialization import load_suite
+
+        with pytest.raises(ModelError):
+            load_suite(tmp_path)
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip_and_validation(self, tiny_scenarios, tmp_path):
+        scenario = tiny_scenarios[0]
+        result = make_heuristic("partial", "C4", 0.0).run(scenario)
+        path = tmp_path / "schedule.json"
+        save_schedule(result.schedule, path)
+        restored = load_schedule(path)
+        assert restored.name == result.schedule.name
+        assert restored.step_count == result.schedule.step_count
+        assert (
+            restored.satisfied_request_ids()
+            == result.schedule.satisfied_request_ids()
+        )
+        # The deserialized schedule still passes independent validation.
+        ScheduleValidator(scenario).validate(restored)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ModelError):
+            schedule_from_dict({"kind": "scenario"})
+
+    def test_deliveries_survive(self, tiny_scenarios):
+        scenario = tiny_scenarios[0]
+        result = make_heuristic("full_all", "C4", 0.0).run(scenario)
+        restored = schedule_from_dict(schedule_to_dict(result.schedule))
+        for request_id, delivery in result.schedule.deliveries.items():
+            other = restored.delivery(request_id)
+            assert other.arrival == delivery.arrival
+            assert other.hops == delivery.hops

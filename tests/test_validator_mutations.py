@@ -1,0 +1,184 @@
+"""Failure-injection property test: the validator catches corrupted schedules.
+
+A valid schedule is produced by a heuristic on a random scenario, then a
+random single-field mutation is applied (time shift, endpoint swap, link
+substitution, duplicated step, tampered delivery).  Every *semantically
+changing* mutation must be rejected by :class:`ScheduleValidator` — silence
+on a corrupted schedule would mean the validator (and therefore the test
+suite's main safety net) has a hole.
+"""
+
+import random
+
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.core.validation import ScheduleValidator
+from repro.errors import ValidationError
+from repro.heuristics.registry import make_heuristic
+from repro.workload.config import GeneratorConfig
+from repro.workload.generator import ScenarioGenerator
+
+
+def _copy_with_steps(schedule, steps, deliveries=None):
+    mutant = Schedule(name="mutant")
+    for step in steps:
+        mutant.add_step(
+            item_id=step.item_id,
+            source=step.source,
+            destination=step.destination,
+            link_id=step.link_id,
+            start=step.start,
+            end=step.end,
+        )
+    for delivery in (
+        deliveries if deliveries is not None else schedule.deliveries.values()
+    ):
+        mutant.add_delivery(
+            request_id=delivery.request_id,
+            arrival=delivery.arrival,
+            hops=delivery.hops,
+        )
+    return mutant
+
+
+class _Mutation:
+    """A named corruption applied to one schedule."""
+
+    def __init__(self, name, apply):
+        self.name = name
+        self.apply = apply
+
+    def __repr__(self):  # pragma: no cover - test ids
+        return self.name
+
+
+def _shift_step_earlier(schedule, rng, scenario):
+    steps = list(schedule.steps)
+    index = rng.randrange(len(steps))
+    step = steps[index]
+    shifted = step.__class__(
+        step_id=step.step_id,
+        item_id=step.item_id,
+        source=step.source,
+        destination=step.destination,
+        link_id=step.link_id,
+        start=step.start - 120.0,
+        end=step.end - 120.0,
+    )
+    steps[index] = shifted
+    return _copy_with_steps(schedule, steps)
+
+
+def _stretch_step(schedule, rng, scenario):
+    steps = list(schedule.steps)
+    index = rng.randrange(len(steps))
+    step = steps[index]
+    steps[index] = step.__class__(
+        step_id=step.step_id,
+        item_id=step.item_id,
+        source=step.source,
+        destination=step.destination,
+        link_id=step.link_id,
+        start=step.start,
+        end=step.end + 17.0,
+    )
+    return _copy_with_steps(schedule, steps)
+
+
+def _duplicate_step(schedule, rng, scenario):
+    steps = list(schedule.steps)
+    steps.append(steps[rng.randrange(len(steps))])
+    return _copy_with_steps(schedule, steps)
+
+
+def _swap_item(schedule, rng, scenario):
+    steps = list(schedule.steps)
+    index = rng.randrange(len(steps))
+    step = steps[index]
+    other_item = (step.item_id + 1) % scenario.item_count
+    if other_item == step.item_id:
+        return None
+    steps[index] = step.__class__(
+        step_id=step.step_id,
+        item_id=other_item,
+        source=step.source,
+        destination=step.destination,
+        link_id=step.link_id,
+        start=step.start,
+        end=step.end,
+    )
+    return _copy_with_steps(schedule, steps)
+
+
+def _tamper_delivery(schedule, rng, scenario):
+    deliveries = list(schedule.deliveries.values())
+    if not deliveries:
+        return None
+    index = rng.randrange(len(deliveries))
+    victim = deliveries[index]
+    tampered = victim.__class__(
+        request_id=victim.request_id,
+        arrival=victim.arrival - 45.0,
+        hops=victim.hops,
+    )
+    deliveries[index] = tampered
+    return _copy_with_steps(schedule, schedule.steps, deliveries)
+
+
+def _drop_delivery(schedule, rng, scenario):
+    deliveries = list(schedule.deliveries.values())
+    if not deliveries:
+        return None
+    deliveries.pop(rng.randrange(len(deliveries)))
+    return _copy_with_steps(schedule, schedule.steps, deliveries)
+
+
+MUTATIONS = [
+    _Mutation("shift-earlier", _shift_step_earlier),
+    _Mutation("stretch-duration", _stretch_step),
+    _Mutation("duplicate-step", _duplicate_step),
+    _Mutation("swap-item", _swap_item),
+    _Mutation("tamper-delivery-arrival", _tamper_delivery),
+    _Mutation("drop-delivery", _drop_delivery),
+]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Valid (scenario, schedule) pairs from random generation."""
+    generator = ScenarioGenerator(GeneratorConfig.tiny())
+    pairs = []
+    for seed in range(6):
+        scenario = generator.generate(3000 + seed)
+        result = make_heuristic("partial", "C4", 0.0).run(scenario)
+        if result.schedule.step_count >= 2:
+            ScheduleValidator(scenario).validate(result.schedule)
+            pairs.append((scenario, result.schedule))
+    assert pairs, "corpus generation produced no usable schedules"
+    return pairs
+
+
+@pytest.mark.parametrize("mutation", MUTATIONS, ids=lambda m: m.name)
+def test_validator_rejects_mutation(mutation, corpus):
+    rng = random.Random(hash(mutation.name) & 0xFFFF)
+    rejected = 0
+    applied = 0
+    for scenario, schedule in corpus:
+        for __ in range(5):
+            mutant = mutation.apply(schedule, rng, scenario)
+            if mutant is None:
+                continue
+            applied += 1
+            try:
+                ScheduleValidator(scenario).validate(mutant)
+            except ValidationError:
+                rejected += 1
+    assert applied > 0
+    # Every semantically-corrupting mutation must be caught.  (All six
+    # mutation kinds break at least one replay invariant by construction:
+    # times move off the link's feasible grid, durations stop matching the
+    # communication time, duplicated steps collide on their link,
+    # swapped items change durations and copy locations, and tampered or
+    # dropped deliveries diverge from the replayed arrivals.)
+    assert rejected == applied

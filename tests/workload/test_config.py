@@ -1,0 +1,95 @@
+"""Unit tests for the generator configuration."""
+
+import pytest
+
+from repro.core import units
+from repro.errors import ConfigurationError
+from repro.workload.config import GeneratorConfig
+
+
+class TestPaperProfile:
+    def test_paper_ranges(self):
+        cfg = GeneratorConfig.paper()
+        assert cfg.machines == (10, 12)
+        assert cfg.out_degree == (4, 7)
+        assert cfg.capacity_bytes == (
+            units.megabytes(10),
+            units.gigabytes(20),
+        )
+        assert cfg.bandwidth_bytes_per_s == (
+            units.kilobits_per_second(10),
+            units.megabits_per_second(1.5),
+        )
+        assert cfg.requests_per_machine == (20, 40)
+        assert cfg.item_size_bytes == (
+            units.kilobytes(10),
+            units.megabytes(100),
+        )
+        assert cfg.gc_delay_seconds == units.minutes(6)
+        assert cfg.window_durations == (
+            units.minutes(30),
+            units.hours(1),
+            units.hours(2),
+            units.hours(4),
+        )
+        assert cfg.availability_percents == (50, 60, 70, 80, 90, 100)
+        assert cfg.item_start_seconds == (0.0, units.minutes(60))
+        assert cfg.deadline_offset_seconds == (
+            units.minutes(15),
+            units.minutes(60),
+        )
+
+    def test_reduced_only_shrinks_request_volume(self):
+        cfg = GeneratorConfig.reduced()
+        assert cfg.machines == (10, 12)
+        assert cfg.requests_per_machine == (5, 10)
+        assert cfg.out_degree == GeneratorConfig.paper().out_degree
+
+
+class TestValidation:
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(machines=(12, 10))
+
+    def test_too_few_machines_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(machines=(1, 3))
+
+    def test_out_degree_exceeding_machines_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(machines=(3, 4), out_degree=(4, 5))
+
+    def test_bad_parallel_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(parallel_link_probability=1.5)
+
+    def test_empty_window_durations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(window_durations=())
+
+    def test_window_longer_than_day_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(window_durations=(units.days(2),))
+
+    def test_bad_percent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(availability_percents=(0,))
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(availability_percents=(120,))
+
+    def test_zero_priority_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(priority_levels=0)
+
+    def test_negative_gc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(gc_delay_seconds=-1.0)
+
+
+class TestReplace:
+    def test_replace_revalidates(self):
+        cfg = GeneratorConfig.tiny()
+        bigger = cfg.replace(machines=(8, 9))
+        assert bigger.machines == (8, 9)
+        with pytest.raises(ConfigurationError):
+            cfg.replace(machines=(9, 8))

@@ -1,0 +1,94 @@
+"""Unit tests for strong-connectivity checking and repair."""
+
+import random
+
+import pytest
+
+from repro.workload.connectivity import (
+    is_strongly_connected,
+    reachable_from,
+    repair_strong_connectivity,
+    reverse_adjacency,
+)
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        adjacency = {0: {1}, 1: {2}, 2: set(), 3: set()}
+        assert reachable_from(adjacency, 0) == {0, 1, 2}
+        assert reachable_from(adjacency, 3) == {3}
+
+    def test_reverse_adjacency(self):
+        adjacency = {0: {1, 2}, 1: set(), 2: {1}}
+        assert reverse_adjacency(adjacency) == {0: set(), 1: {0, 2}, 2: {0}}
+
+
+class TestIsStronglyConnected:
+    def test_ring(self):
+        assert is_strongly_connected({0: {1}, 1: {2}, 2: {0}})
+
+    def test_chain_is_not(self):
+        assert not is_strongly_connected({0: {1}, 1: {2}, 2: set()})
+
+    def test_two_components(self):
+        adjacency = {0: {1}, 1: {0}, 2: {3}, 3: {2}}
+        assert not is_strongly_connected(adjacency)
+
+    def test_empty_and_singleton(self):
+        assert is_strongly_connected({})
+        assert is_strongly_connected({0: set()})
+
+
+class TestRepair:
+    def _repair(self, adjacency, seed=0):
+        pair_counts = {
+            (src, dst): 1 for src, targets in adjacency.items()
+            for dst in targets
+        }
+        added = repair_strong_connectivity(
+            adjacency, pair_counts, random.Random(seed)
+        )
+        return adjacency, pair_counts, added
+
+    def test_repairs_chain(self):
+        adjacency, pair_counts, added = self._repair(
+            {0: {1}, 1: {2}, 2: set()}
+        )
+        assert is_strongly_connected(adjacency)
+        assert added  # something had to be added
+        for pair in added:
+            assert pair_counts[pair] >= 1
+
+    def test_repairs_isolated_node(self):
+        adjacency, __, added = self._repair({0: {1}, 1: {0}, 2: set()})
+        assert is_strongly_connected(adjacency)
+        assert len(added) >= 2  # needs an edge in and an edge out
+
+    def test_respects_pair_multiplicity_cap(self):
+        adjacency = {0: {1}, 1: {2}, 2: set()}
+        pair_counts = {(0, 1): 2, (1, 2): 2}
+        repair_strong_connectivity(
+            adjacency, pair_counts, random.Random(1), max_links_per_pair=2
+        )
+        assert is_strongly_connected(adjacency)
+        assert all(count <= 2 for count in pair_counts.values())
+
+    def test_already_connected_adds_nothing(self):
+        adjacency, __, added = self._repair({0: {1}, 1: {0}})
+        assert added == []
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_sparse_graphs_always_repaired(self, seed):
+        rng = random.Random(seed)
+        nodes = list(range(8))
+        adjacency = {n: set() for n in nodes}
+        for node in nodes:
+            target = rng.choice([m for m in nodes if m != node])
+            adjacency[node].add(target)
+        pair_counts = {
+            (src, dst): 1
+            for src, targets in adjacency.items()
+            for dst in targets
+        }
+        repair_strong_connectivity(adjacency, pair_counts, rng)
+        assert is_strongly_connected(adjacency)

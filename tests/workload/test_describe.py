@@ -1,0 +1,73 @@
+"""Tests for scenario descriptions."""
+
+from repro.workload.describe import describe, render_description
+from repro.workload.presets import badd_theater
+
+from tests.helpers import line_network, make_item, make_scenario
+
+
+def _simple_scenario():
+    return make_scenario(
+        line_network(3, bandwidth=1000.0),
+        [
+            make_item(0, 1000.0, [(0, 0.0)]),
+            make_item(1, 3000.0, [(1, 10.0)]),
+        ],
+        [(0, 2, 2, 100.0), (1, 2, 1, 110.0), (1, 0, 0, 210.0)],
+        horizon=1000.0,
+    )
+
+
+class TestDescribe:
+    def test_counts(self):
+        description = describe(_simple_scenario())
+        assert description.machines == 3
+        assert description.physical_links == 3
+        assert description.items == 2
+        assert description.requests == 3
+        assert description.requests_by_priority == (1, 1, 1)
+
+    def test_sizes_and_bandwidth(self):
+        description = describe(_simple_scenario())
+        assert description.total_item_bytes == 4000.0
+        assert description.mean_item_bytes == 2000.0
+        assert description.mean_bandwidth == 1000.0
+        assert description.min_capacity == 1_000_000.0
+
+    def test_availability_clipped_to_horizon(self):
+        # Helper links are open far beyond the 1000 s horizon.
+        description = describe(_simple_scenario())
+        assert description.mean_availability == 1.0
+
+    def test_deadline_slack(self):
+        description = describe(_simple_scenario())
+        # Slacks: 100-0, 110-10, 210-10 -> mean 133.33
+        assert abs(description.mean_deadline_slack - 400.0 / 3) < 1e-9
+
+    def test_demand_and_supply(self):
+        description = describe(_simple_scenario())
+        # Demand: item sizes summed per request: 1000 + 3000 + 3000.
+        assert description.demand_bytes == 7000.0
+        # Supply: 3 links x 1000 B/s x 1000 s horizon.
+        assert description.supply_bytes == 3_000_000.0
+        assert description.oversubscription == 7000.0 / 3_000_000.0
+
+    def test_theater_is_lightly_loaded_in_raw_bytes(self):
+        description = describe(badd_theater())
+        # Raw byte oversubscription is low; the theater's tightness comes
+        # from windows and deadlines, not aggregate bandwidth.
+        assert description.oversubscription < 0.1
+        assert description.requests == 7
+
+
+class TestRender:
+    def test_render_contains_key_lines(self):
+        text = render_description(describe(_simple_scenario()))
+        assert "scenario test" in text
+        assert "machines:" in text
+        assert "demand/supply:" in text
+        assert "p2=1" in text
+
+    def test_render_uses_units(self):
+        text = render_description(describe(badd_theater()))
+        assert "MB" in text or "GB" in text

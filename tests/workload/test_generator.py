@@ -1,0 +1,202 @@
+"""Unit tests for the §5.3 scenario generator."""
+
+import pytest
+
+from repro.core.priority import WEIGHTING_1_5_10, PriorityWeighting
+from repro.errors import ConfigurationError
+from repro.workload.config import GeneratorConfig
+from repro.workload.generator import ScenarioGenerator
+
+
+@pytest.fixture(scope="module")
+def paper_scenario():
+    return ScenarioGenerator(GeneratorConfig.paper()).generate(12345)
+
+
+class TestDeterminism:
+    def test_same_seed_same_scenario(self, tiny_generator):
+        a = tiny_generator.generate(9)
+        b = tiny_generator.generate(9)
+        assert a.network.machine_count == b.network.machine_count
+        assert [m.capacity for m in a.network.machines] == [
+            m.capacity for m in b.network.machines
+        ]
+        assert [
+            (v.source, v.destination, v.start, v.end, v.bandwidth)
+            for v in a.network.virtual_links
+        ] == [
+            (v.source, v.destination, v.start, v.end, v.bandwidth)
+            for v in b.network.virtual_links
+        ]
+        assert [
+            (r.item_id, r.destination, r.priority, r.deadline)
+            for r in a.requests
+        ] == [
+            (r.item_id, r.destination, r.priority, r.deadline)
+            for r in b.requests
+        ]
+
+    def test_different_seeds_differ(self, tiny_generator):
+        a = tiny_generator.generate(1)
+        b = tiny_generator.generate(2)
+        assert [r.deadline for r in a.requests] != [
+            r.deadline for r in b.requests
+        ]
+
+    def test_suite_uses_consecutive_seeds(self, tiny_generator):
+        suite = tiny_generator.generate_suite(3, base_seed=50)
+        assert [s.name for s in suite] == ["badd-50", "badd-51", "badd-52"]
+
+
+class TestPaperParameterRanges:
+    def test_machine_count_and_capacity(self, paper_scenario):
+        cfg = GeneratorConfig.paper()
+        count = paper_scenario.network.machine_count
+        assert cfg.machines[0] <= count <= cfg.machines[1]
+        for machine in paper_scenario.network.machines:
+            low, high = cfg.capacity_bytes
+            assert low <= machine.capacity <= high
+
+    def test_out_degree_range(self, paper_scenario):
+        cfg = GeneratorConfig.paper()
+        network = paper_scenario.network
+        for machine in network.machines:
+            degree = network.out_degree(machine.index)
+            # Connectivity repair may add a neighbour beyond the drawn
+            # degree, so only the lower bound is strict.
+            assert degree >= cfg.out_degree[0]
+
+    def test_at_most_two_links_per_pair(self, paper_scenario):
+        counts = {}
+        for plink in paper_scenario.network.physical_links:
+            key = (plink.source, plink.destination)
+            counts[key] = counts.get(key, 0) + 1
+        assert max(counts.values()) <= 2
+
+    def test_bandwidth_and_latency_ranges(self, paper_scenario):
+        cfg = GeneratorConfig.paper()
+        for plink in paper_scenario.network.physical_links:
+            assert (
+                cfg.bandwidth_bytes_per_s[0]
+                <= plink.bandwidth
+                <= cfg.bandwidth_bytes_per_s[1]
+            )
+            assert (
+                cfg.latency_seconds[0]
+                <= plink.latency
+                <= cfg.latency_seconds[1]
+            )
+
+    def test_strongly_connected(self, paper_scenario):
+        assert paper_scenario.network.is_strongly_connected()
+
+    def test_request_volume(self, paper_scenario):
+        cfg = GeneratorConfig.paper()
+        m = paper_scenario.network.machine_count
+        count = paper_scenario.request_count
+        assert cfg.requests_per_machine[0] * m <= count
+        # The final item may overshoot by at most its destination count - 1,
+        # but the generator clamps, so the upper bound is exact.
+        assert count <= cfg.requests_per_machine[1] * m
+
+    def test_item_sizes_and_fanout(self, paper_scenario):
+        cfg = GeneratorConfig.paper()
+        for item in paper_scenario.items:
+            assert (
+                cfg.item_size_bytes[0]
+                <= item.size
+                <= cfg.item_size_bytes[1]
+            )
+            assert 1 <= len(item.sources) <= cfg.sources_per_item[1]
+        for item_id in paper_scenario.requested_item_ids():
+            requests = paper_scenario.requests_for_item(item_id)
+            assert 1 <= len(requests) <= cfg.destinations_per_item[1]
+
+    def test_destination_never_a_source(self, paper_scenario):
+        for request in paper_scenario.requests:
+            item = paper_scenario.item(request.item_id)
+            assert request.destination not in item.source_machines
+
+    def test_start_times_and_deadlines(self, paper_scenario):
+        cfg = GeneratorConfig.paper()
+        for item in paper_scenario.items:
+            starts = {src.available_from for src in item.sources}
+            assert len(starts) == 1  # one availability time per item
+            start = starts.pop()
+            assert (
+                cfg.item_start_seconds[0]
+                <= start
+                <= cfg.item_start_seconds[1]
+            )
+            for request in paper_scenario.requests_for_item(item.item_id):
+                offset = request.deadline - start
+                assert (
+                    cfg.deadline_offset_seconds[0]
+                    <= offset
+                    <= cfg.deadline_offset_seconds[1]
+                )
+
+    def test_gc_and_horizon(self, paper_scenario):
+        cfg = GeneratorConfig.paper()
+        assert paper_scenario.gc_delay == cfg.gc_delay_seconds
+        latest = max(r.deadline for r in paper_scenario.requests)
+        assert paper_scenario.horizon > latest
+
+
+class TestWindows:
+    def test_windows_within_day_and_sorted(self, paper_scenario):
+        cfg = GeneratorConfig.paper()
+        for plink in paper_scenario.network.physical_links:
+            assert plink.windows, "every physical link needs windows"
+            previous_end = None
+            for window in plink.windows:
+                assert window.start >= 0.0
+                assert window.end <= cfg.day_seconds + 1e-6
+                if previous_end is not None:
+                    assert window.start >= previous_end
+                previous_end = window.end
+
+    def test_uniform_duration_per_link(self, paper_scenario):
+        cfg = GeneratorConfig.paper()
+        for plink in paper_scenario.network.physical_links:
+            durations = {
+                round(window.duration, 6) for window in plink.windows
+            }
+            assert len(durations) == 1
+            assert durations.pop() in {
+                round(d, 6) for d in cfg.window_durations
+            }
+
+    def test_first_window_starts_in_first_third_of_downtime(
+        self, paper_scenario
+    ):
+        cfg = GeneratorConfig.paper()
+        for plink in paper_scenario.network.physical_links:
+            total = sum(w.duration for w in plink.windows)
+            unavailable = cfg.day_seconds - total
+            assert plink.windows[0].start <= unavailable / 3.0 + 1e-6
+
+
+class TestWeighting:
+    def test_custom_weighting_attached(self):
+        generator = ScenarioGenerator(
+            GeneratorConfig.tiny(), weighting=WEIGHTING_1_5_10
+        )
+        scenario = generator.generate(4)
+        assert scenario.weighting is WEIGHTING_1_5_10
+
+    def test_weighting_with_too_few_classes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioGenerator(
+                GeneratorConfig.tiny(), weighting=PriorityWeighting((1, 2))
+            )
+
+    def test_priorities_identical_across_weightings(self, tiny_generator):
+        other = ScenarioGenerator(
+            tiny_generator.config, weighting=WEIGHTING_1_5_10
+        )
+        a = tiny_generator.generate(11)
+        b = other.generate(11)
+        assert [r.priority for r in a.requests] == [
+            r.priority for r in b.requests
+        ]

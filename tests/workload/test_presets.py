@@ -1,0 +1,67 @@
+"""Tests for the hand-built scenario presets."""
+
+from repro.baselines.bounds import possible_satisfy, upper_bound
+from repro.core.evaluation import evaluate_schedule
+from repro.core.validation import ScheduleValidator
+from repro.core import units
+from repro.heuristics.registry import make_heuristic
+from repro.workload.presets import badd_theater, two_route_diamond
+
+
+class TestBaddTheater:
+    def test_structure(self):
+        scenario = badd_theater()
+        assert scenario.network.machine_count == 5
+        assert scenario.item_count == 4
+        assert scenario.request_count == 7
+        names = [m.name for m in scenario.network.machines]
+        assert "washington" in names and "field-unit" in names
+
+    def test_satellite_passes(self):
+        scenario = badd_theater()
+        downlink = scenario.network.physical_links[5]
+        assert len(downlink.windows) == 24
+        assert downlink.windows[0].duration == units.minutes(15)
+
+    def test_structurally_oversubscribed(self):
+        # The 60 MB logistics report cannot cross any 15-minute pass, so
+        # the tight bound sits strictly below the loose one.
+        scenario = badd_theater()
+        assert possible_satisfy(scenario) < upper_bound(scenario)
+
+    def test_every_heuristic_hits_the_tight_bound(self):
+        scenario = badd_theater()
+        tight = possible_satisfy(scenario)
+        for heuristic in ("partial", "full_one", "full_all"):
+            result = make_heuristic(heuristic, "C4", 2.0).run(scenario)
+            ScheduleValidator(scenario).validate(result.schedule)
+            achieved = evaluate_schedule(
+                scenario, result.schedule
+            ).weighted_sum
+            assert achieved == tight
+
+    def test_deterministic(self):
+        a, b = badd_theater(), badd_theater()
+        assert a.requests == b.requests
+        assert [v.link_id for v in a.network.virtual_links] == [
+            v.link_id for v in b.network.virtual_links
+        ]
+
+
+class TestTwoRouteDiamond:
+    def test_structure(self):
+        scenario = two_route_diamond()
+        assert scenario.network.machine_count == 4
+        assert scenario.request_count == 1
+
+    def test_fast_route_used_when_window_fits(self):
+        scenario = two_route_diamond()
+        result = make_heuristic("full_one", "C4", 2.0).run(scenario)
+        effect = evaluate_schedule(scenario, result.schedule)
+        assert effect.satisfied_count == 1
+        # The 10 MB payload at 1 Mbit/s takes ~80 s per hop: both hops fit
+        # the 5-minute windows, so the fast upper route (via machine 1)
+        # must win over the ~400 s/hop lower route.
+        machines = {step.destination for step in result.schedule.steps}
+        assert 1 in machines
+        assert 2 not in machines

@@ -1,0 +1,162 @@
+"""Tests for scenario transforms."""
+
+import pytest
+
+from repro.core.priority import (
+    PriorityWeighting,
+    WEIGHTING_1_5_10,
+)
+from repro.errors import ConfigurationError
+from repro.workload.transforms import (
+    drop_requests,
+    scale_capacities,
+    scale_deadlines,
+    with_gc_delay,
+    with_weighting,
+)
+
+
+class TestWithGcDelay:
+    def test_changes_only_gc(self, tiny_scenarios):
+        scenario = tiny_scenarios[0]
+        variant = with_gc_delay(scenario, 42.0)
+        assert variant.gc_delay == 42.0
+        assert variant.requests == scenario.requests
+        assert scenario.gc_delay != 42.0  # original untouched
+
+    def test_negative_rejected(self, tiny_scenarios):
+        with pytest.raises(ConfigurationError):
+            with_gc_delay(tiny_scenarios[0], -1.0)
+
+
+class TestWithWeighting:
+    def test_swaps_weighting(self, tiny_scenarios):
+        variant = with_weighting(tiny_scenarios[0], WEIGHTING_1_5_10)
+        assert variant.weighting is WEIGHTING_1_5_10
+        assert variant.requests == tiny_scenarios[0].requests
+
+    def test_too_few_classes_rejected(self, tiny_scenarios):
+        narrow = PriorityWeighting((1,), name="one")
+        with pytest.raises(ConfigurationError):
+            with_weighting(tiny_scenarios[0], narrow)
+
+
+class TestScaleCapacities:
+    def test_all_machines_scaled(self, tiny_scenarios):
+        scenario = tiny_scenarios[0]
+        variant = scale_capacities(scenario, 0.5)
+        for before, after in zip(
+            scenario.network.machines, variant.network.machines
+        ):
+            assert after.capacity == pytest.approx(before.capacity * 0.5)
+            assert after.name == before.name
+        # Links untouched.
+        assert len(variant.network.virtual_links) == len(
+            scenario.network.virtual_links
+        )
+
+    def test_bad_factor_rejected(self, tiny_scenarios):
+        with pytest.raises(ConfigurationError):
+            scale_capacities(tiny_scenarios[0], 0.0)
+
+    def test_tight_capacity_reduces_value(self, tiny_scenarios):
+        from repro.core.evaluation import evaluate_schedule
+        from repro.heuristics.registry import make_heuristic
+
+        scenario = tiny_scenarios[0]
+        starved = scale_capacities(scenario, 1e-7)
+        base = evaluate_schedule(
+            scenario, make_heuristic("full_one", "C4", 0.0)
+            .run(scenario).schedule
+        ).weighted_sum
+        squeezed = evaluate_schedule(
+            starved, make_heuristic("full_one", "C4", 0.0)
+            .run(starved).schedule
+        ).weighted_sum
+        assert squeezed <= base
+
+
+class TestScaleDeadlines:
+    def test_slack_scaled_from_item_start(self, tiny_scenarios):
+        scenario = tiny_scenarios[0]
+        variant = scale_deadlines(scenario, 2.0)
+        for before, after in zip(scenario.requests, variant.requests):
+            start = scenario.item(before.item_id).earliest_availability()
+            assert after.deadline - start == pytest.approx(
+                2.0 * (before.deadline - start)
+            )
+
+    def test_horizon_grows_when_needed(self, tiny_scenarios):
+        scenario = tiny_scenarios[0]
+        variant = scale_deadlines(scenario, 10.0)
+        assert variant.horizon >= max(
+            request.deadline for request in variant.requests
+        )
+
+    def test_tighter_deadlines_reduce_value(self, tiny_scenarios):
+        from repro.core.evaluation import evaluate_schedule
+        from repro.heuristics.registry import make_heuristic
+
+        scenario = tiny_scenarios[1]
+        tight = scale_deadlines(scenario, 0.05)
+        base = evaluate_schedule(
+            scenario, make_heuristic("full_one", "C4", 0.0)
+            .run(scenario).schedule
+        ).weighted_sum
+        squeezed = evaluate_schedule(
+            tight, make_heuristic("full_one", "C4", 0.0)
+            .run(tight).schedule
+        ).weighted_sum
+        assert squeezed <= base
+
+    def test_bad_factor_rejected(self, tiny_scenarios):
+        with pytest.raises(ConfigurationError):
+            scale_deadlines(tiny_scenarios[0], -1.0)
+
+
+class TestIdentityFactors:
+    def test_unit_factors_change_nothing_schedulable(self, tiny_scenarios):
+        from repro.core.evaluation import evaluate_schedule
+        from repro.heuristics.registry import make_heuristic
+
+        scenario = tiny_scenarios[0]
+        identity = scale_deadlines(
+            scale_capacities(scenario, 1.0), 1.0
+        )
+        assert identity.requests == scenario.requests
+        base = make_heuristic("full_one", "C4", 0.0).run(scenario)
+        same = make_heuristic("full_one", "C4", 0.0).run(identity)
+        assert evaluate_schedule(
+            scenario, base.schedule
+        ).weighted_sum == evaluate_schedule(
+            identity, same.schedule
+        ).weighted_sum
+
+
+class TestDropRequests:
+    def test_prefix_kept_and_renumbered(self, tiny_scenarios):
+        scenario = tiny_scenarios[0]
+        variant = drop_requests(scenario, 0.5)
+        expected = max(1, round(scenario.request_count * 0.5))
+        assert variant.request_count == expected
+        assert [r.request_id for r in variant.requests] == list(
+            range(expected)
+        )
+        for before, after in zip(scenario.requests, variant.requests):
+            assert (before.item_id, before.destination) == (
+                after.item_id,
+                after.destination,
+            )
+
+    def test_full_fraction_is_identity_sized(self, tiny_scenarios):
+        scenario = tiny_scenarios[0]
+        assert (
+            drop_requests(scenario, 1.0).request_count
+            == scenario.request_count
+        )
+
+    def test_bad_fraction_rejected(self, tiny_scenarios):
+        with pytest.raises(ConfigurationError):
+            drop_requests(tiny_scenarios[0], 0.0)
+        with pytest.raises(ConfigurationError):
+            drop_requests(tiny_scenarios[0], 1.5)

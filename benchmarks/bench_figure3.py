@@ -11,10 +11,13 @@ from repro.experiments.figures import heuristic_figure
 from repro.experiments.tables import render_figure
 
 
-def test_figure3_partial_path(benchmark, scale, scenarios, artifact_writer):
+def test_figure3_partial_path(
+    benchmark, scale, scenarios, artifact_writer, executor
+):
     data = benchmark.pedantic(
         heuristic_figure,
         args=(scenarios, "partial", scale.log_ratios),
+        kwargs={"executor": executor},
         rounds=1,
         iterations=1,
     )

@@ -8,10 +8,13 @@ from repro.experiments.figures import heuristic_figure
 from repro.experiments.tables import render_figure
 
 
-def test_figure4_full_path_one(benchmark, scale, scenarios, artifact_writer):
+def test_figure4_full_path_one(
+    benchmark, scale, scenarios, artifact_writer, executor
+):
     data = benchmark.pedantic(
         heuristic_figure,
         args=(scenarios, "full_one", scale.log_ratios),
+        kwargs={"executor": executor},
         rounds=1,
         iterations=1,
     )

@@ -9,10 +9,11 @@ from repro.experiments.figures import figure2
 from repro.experiments.tables import render_minmax
 
 
-def test_minmax_spread(benchmark, scale, scenarios, artifact_writer):
+def test_minmax_spread(benchmark, scale, scenarios, artifact_writer, executor):
     data = benchmark.pedantic(
         figure2,
         args=(scenarios, scale.log_ratios),
+        kwargs={"executor": executor},
         rounds=1,
         iterations=1,
     )

@@ -8,6 +8,11 @@ Subcommands:
 * ``bounds`` — print the §5.2 bounds of a scenario;
 * ``figure`` — reproduce one of Figures 2–5 as an ASCII table;
 * ``validate`` — check a saved schedule against a saved scenario.
+
+The ``sweep`` and ``figure`` subcommands accept ``--workers`` (process
+fan-out), ``--cache-dir`` (persistent run-record cache), and
+``--no-cache`` (ignore an otherwise-configured cache); see
+:mod:`repro.experiments.executor`.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from repro.core.evaluation import evaluate_schedule
 from repro.core.validation import ScheduleValidator
 from repro.cost.criteria import criterion_names
 from repro.errors import DataStagingError, ValidationError
+from repro.experiments.executor import SweepExecutor
 from repro.experiments.figures import figure2, heuristic_figure
 from repro.experiments.report import build_report
 from repro.experiments.runner import run_pair
@@ -39,6 +45,30 @@ from repro.workload.config import GeneratorConfig
 from repro.workload.generator import ScenarioGenerator
 from repro.workload.describe import describe, render_description
 from repro.workload.presets import badd_theater, two_route_diamond
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep grid (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="run-record cache directory; repeat runs replay cached cells",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir and recompute every cell",
+    )
+
+
+def _executor_from_args(args: argparse.Namespace) -> SweepExecutor:
+    cache_dir = None if args.no_cache else args.cache_dir
+    return SweepExecutor(workers=args.workers, cache_dir=cache_dir)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -98,6 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("ci", "full", "paper"),
         help="experiment scale (default: ci)",
     )
+    _add_executor_flags(figure)
 
     validate = sub.add_parser(
         "validate", help="check a saved schedule against its scenario"
@@ -136,6 +167,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="ci",
         choices=("ci", "full", "paper"),
     )
+    _add_executor_flags(sweep)
 
     report = sub.add_parser(
         "report",
@@ -211,13 +243,18 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     scale = scale_by_name(args.scale)
     generator = ScenarioGenerator(scale.config)
     scenarios = generator.generate_suite(scale.cases, scale.base_seed)
-    if args.figure_id == "2":
-        data = figure2(scenarios, scale.log_ratios)
-    else:
-        heuristic = {"3": "partial", "4": "full_one", "5": "full_all"}[
-            args.figure_id
-        ]
-        data = heuristic_figure(scenarios, heuristic, scale.log_ratios)
+    with _executor_from_args(args) as executor:
+        if args.figure_id == "2":
+            data = figure2(
+                scenarios, scale.log_ratios, executor=executor
+            )
+        else:
+            heuristic = {"3": "partial", "4": "full_one", "5": "full_all"}[
+                args.figure_id
+            ]
+            data = heuristic_figure(
+                scenarios, heuristic, scale.log_ratios, executor=executor
+            )
     print(render_figure(data))
     return 0
 
@@ -273,7 +310,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     generator = ScenarioGenerator(scale.config)
     scenarios = generator.generate_suite(scale.cases, scale.base_seed)
     grid = resolve_ratios(scale.log_ratios)
-    records = sweep_pair(scenarios, args.heuristic, args.criterion, grid)
+    with _executor_from_args(args) as executor:
+        records = sweep_pair(
+            scenarios, args.heuristic, args.criterion, grid, executor
+        )
+        summary = executor.last_summary
     means = mean_by_scheduler(records)
     labels = [weights.label() for weights in grid]
     scheduler = records[0].scheduler
@@ -291,6 +332,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if summary is not None:
+        print(
+            f"[{summary.cells} cells: {summary.computed} computed, "
+            f"{summary.cache_hits} cached; {summary.wall_seconds:.2f}s "
+            f"wall, speedup {summary.speedup:.1f}x]"
+        )
     return 0
 
 

@@ -22,6 +22,16 @@ from repro.experiments.crossover import (
     ratio_sensitivity,
     series_peak,
 )
+from repro.experiments.executor import (
+    CACHE_FORMAT_VERSION,
+    CELL_KINDS,
+    ExecutorStats,
+    RunCache,
+    SweepCell,
+    SweepExecutor,
+    SweepSummary,
+    ensure_executor,
+)
 from repro.experiments.figures import (
     FIGURE_CRITERIA,
     FigureData,
@@ -65,13 +75,20 @@ from repro.experiments.tables import render_figure, render_minmax, render_table
 
 __all__ = [
     "Aggregate",
+    "CACHE_FORMAT_VERSION",
+    "CELL_KINDS",
     "CI_LOG_RATIOS",
     "CongestionPoint",
     "Crossover",
     "EXTENDED_WEIGHTINGS",
+    "ExecutorStats",
     "ExperimentScale",
     "FIGURE_CRITERIA",
     "FigureData",
+    "RunCache",
+    "SweepCell",
+    "SweepExecutor",
+    "SweepSummary",
     "REPORT_SECTIONS",
     "ReportSection",
     "RunRecord",
@@ -86,6 +103,7 @@ __all__ = [
     "build_report",
     "congestion_sweep",
     "current_scale",
+    "ensure_executor",
     "figure2",
     "figure_peaks",
     "find_crossovers",

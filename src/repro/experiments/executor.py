@@ -1,0 +1,443 @@
+"""Parallel sweep execution with a persistent run-record cache.
+
+The paper's figures and tables all reduce to evaluating a grid of
+``(scenario, heuristic, criterion, E-U weights)`` cells, and every cell is
+independent of every other — an embarrassingly parallel workload.
+:class:`SweepExecutor` shards such grids across a
+:class:`~concurrent.futures.ProcessPoolExecutor` (``workers=1`` keeps the
+exact in-process serial path) and, when given a cache directory, skips
+cells whose results are already on disk.
+
+Determinism contract: records are returned in *cell order*, regardless of
+worker count or completion order, so figure and table output is
+byte-identical at any parallelism.  Cache identity is the scenario's
+content fingerprint plus the scheduler coordinates — wall-clock timing is
+deliberately *not* part of the identity, and replayed records are marked
+with ``cache_hit=True`` (their ``elapsed_seconds`` reports the original
+run).  A cache entry that fails to parse is treated as a miss: the cell is
+recomputed, the entry rewritten, and a warning logged.
+
+Every :meth:`SweepExecutor.run_cells` call logs a one-line summary —
+cells computed versus replayed, wall time, and the speedup over the
+serial scheduler time it represents — through the standard
+:mod:`logging` machinery (logger ``repro.experiments.executor``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.scenario import Scenario
+from repro.cost.criteria import CostCriterion, get_criterion
+from repro.cost.weights import EUWeights, as_weights
+from repro.errors import ConfigurationError
+from repro.experiments.runner import RunRecord, run_pair, run_scheduler
+from repro.serialization import (
+    run_record_from_dict,
+    run_record_to_dict,
+    scenario_fingerprint,
+    scenario_to_dict,
+    scenario_from_dict,
+)
+
+logger = logging.getLogger(__name__)
+
+#: Version stamp of the cache entry layout; bump to invalidate old caches.
+CACHE_FORMAT_VERSION = 1
+
+#: The cell kinds an executor knows how to run.
+CELL_KINDS = ("pair", "tier")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independently executable grid cell.
+
+    Attributes:
+        scenario: the problem instance.
+        heuristic: heuristic registry name (``"partial"`` ...).
+        criterion: criterion registry name or instance.  Parallel workers
+            and the cache resolve it *by name*, so instances must carry a
+            registered ``name``.
+        weights: the E-U point.
+        kind: ``"pair"`` runs the plain heuristic/criterion pair;
+            ``"tier"`` wraps it in the §5.4
+            :class:`~repro.baselines.priority_tier.PriorityTierScheduler`.
+    """
+
+    scenario: Scenario
+    heuristic: str
+    criterion: Union[str, CostCriterion]
+    weights: EUWeights
+    kind: str = "pair"
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            raise ConfigurationError(
+                f"unknown cell kind {self.kind!r}; known: {CELL_KINDS}"
+            )
+
+    def criterion_name(self) -> str:
+        """The criterion's registry name."""
+        if isinstance(self.criterion, str):
+            return self.criterion
+        return self.criterion.name
+
+    def resolved_criterion(self) -> CostCriterion:
+        """The criterion instance (resolving names via the registry)."""
+        if isinstance(self.criterion, str):
+            return get_criterion(self.criterion)
+        return self.criterion
+
+
+def _run_cell(cell: SweepCell) -> RunRecord:
+    """Execute one cell in-process (the exact serial code path)."""
+    if cell.kind == "tier":
+        from repro.baselines.priority_tier import PriorityTierScheduler
+
+        tier = PriorityTierScheduler(
+            heuristic=cell.heuristic,
+            criterion=cell.criterion,
+            weights=cell.weights,
+        )
+        return run_scheduler(cell.scenario, tier)
+    return run_pair(cell.scenario, cell.heuristic, cell.criterion, cell.weights)
+
+
+def _execute_payload(
+    payload: Tuple[int, Dict[str, Any], str, str, float, float, str],
+) -> Tuple[int, Dict[str, Any]]:
+    """Worker-side execution of one serialized cell.
+
+    The scenario crosses the process boundary as its serialization dict
+    (guaranteed picklable; the test suite pins that a round-tripped
+    scenario schedules identically), and the record returns the same way.
+    """
+    index, scenario_doc, heuristic, criterion, effective, urgency, kind = (
+        payload
+    )
+    cell = SweepCell(
+        scenario=scenario_from_dict(scenario_doc),
+        heuristic=heuristic,
+        criterion=criterion,
+        weights=EUWeights(effective=effective, urgency=urgency),
+        kind=kind,
+    )
+    return index, run_record_to_dict(_run_cell(cell))
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """Accounting of one :meth:`SweepExecutor.run_cells` call.
+
+    Attributes:
+        cells: total grid cells requested.
+        computed: cells actually executed by a scheduler.
+        cache_hits: cells replayed from the run cache.
+        wall_seconds: wall-clock duration of the call.
+        scheduled_seconds: summed scheduler time the returned records
+            represent (cached records contribute their original timing).
+    """
+
+    cells: int
+    computed: int
+    cache_hits: int
+    wall_seconds: float
+    scheduled_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """``scheduled_seconds / wall_seconds`` (0.0 for an empty call)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.scheduled_seconds / self.wall_seconds
+
+
+@dataclass
+class ExecutorStats:
+    """Cumulative cell accounting over an executor's lifetime.
+
+    Attributes:
+        computed: cells executed by a scheduler.
+        cache_hits: cells replayed from the run cache.
+        cache_errors: cache entries dropped as unreadable.
+        wall_seconds: total wall-clock time spent in ``run_cells``.
+        scheduled_seconds: total scheduler time represented.
+    """
+
+    computed: int = 0
+    cache_hits: int = 0
+    cache_errors: int = 0
+    wall_seconds: float = 0.0
+    scheduled_seconds: float = 0.0
+
+    def note(self, summary: SweepSummary) -> None:
+        """Fold one call's summary into the running totals."""
+        self.computed += summary.computed
+        self.cache_hits += summary.cache_hits
+        self.wall_seconds += summary.wall_seconds
+        self.scheduled_seconds += summary.scheduled_seconds
+
+
+class RunCache:
+    """Content-addressed on-disk store of :class:`RunRecord` documents.
+
+    One JSON file per cell under ``directory``, named by the SHA-256 of
+    the cell's identity: scenario fingerprint + heuristic + criterion +
+    E-U label + cell kind (+ the cache format version).  Timing is not
+    part of the identity, so a warm cache replays records regardless of
+    how long the original runs took.
+
+    Args:
+        directory: cache root; created on first use.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.errors = 0
+
+    def key_for(
+        self,
+        cell: SweepCell,
+        fingerprints: Optional[Dict[int, str]] = None,
+    ) -> str:
+        """The cell's cache key (SHA-256 hex digest of its identity).
+
+        Args:
+            cell: the grid cell.
+            fingerprints: optional ``id(scenario) -> fingerprint`` memo so
+                a grid sharing scenarios fingerprints each one once.
+        """
+        scenario = cell.scenario
+        if fingerprints is not None and id(scenario) in fingerprints:
+            fingerprint = fingerprints[id(scenario)]
+        else:
+            fingerprint = scenario_fingerprint(scenario)
+            if fingerprints is not None:
+                fingerprints[id(scenario)] = fingerprint
+        criterion = cell.resolved_criterion()
+        identity = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "scenario": fingerprint,
+            "heuristic": cell.heuristic,
+            "criterion": cell.criterion_name(),
+            "weights": "-" if criterion.eu_independent else cell.weights.label(),
+            "kind": cell.kind,
+        }
+        text = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[RunRecord]:
+        """The cached record under ``key``, or ``None``.
+
+        A present-but-unreadable entry (truncated file, invalid JSON,
+        missing fields, wrong kind) is treated as a miss: a warning is
+        logged, the error counted, and the caller recomputes (and
+        overwrites the entry).
+        """
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            if document.get("kind") != "run_cache_entry":
+                raise ValueError(
+                    f"unexpected kind {document.get('kind')!r}"
+                )
+            return run_record_from_dict(document["record"])
+        except Exception as exc:  # noqa: BLE001 - any corruption => miss
+            self.errors += 1
+            logger.warning(
+                "run cache entry %s is unreadable (%s); recomputing",
+                path,
+                exc,
+            )
+            return None
+
+    def store(self, key: str, cell: SweepCell, record: RunRecord) -> None:
+        """Persist ``record`` under ``key`` (atomic rename, compact JSON)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "kind": "run_cache_entry",
+            "key": key,
+            "heuristic": cell.heuristic,
+            "criterion": cell.criterion_name(),
+            "cell_kind": cell.kind,
+            "record": run_record_to_dict(
+                dataclasses.replace(record, cache_hit=False)
+            ),
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps(document, sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+
+
+class SweepExecutor:
+    """Runs sweep grids — serially, in parallel, and through the cache.
+
+    Args:
+        workers: process count.  ``1`` (the default) executes every cell
+            in-process on the exact pre-existing serial path; ``N > 1``
+            fans misses out over a lazily started
+            :class:`~concurrent.futures.ProcessPoolExecutor` that is
+            reused across calls until :meth:`close`.
+        cache_dir: optional run-cache directory; ``None`` disables
+            caching entirely.
+
+    The executor is also a context manager (``with SweepExecutor(...)``),
+    closing its worker pool on exit.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}"
+            )
+        self.workers = int(workers)
+        self.cache = RunCache(cache_dir) if cache_dir is not None else None
+        self.stats = ExecutorStats()
+        self.last_summary: Optional[SweepSummary] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def __enter__(self) -> "SweepExecutor":
+        """Enter a ``with`` block; returns the executor itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the worker pool on ``with`` block exit."""
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def run_cells(self, cells: Sequence[SweepCell]) -> List[RunRecord]:
+        """Execute a cell grid; records come back in cell order.
+
+        Cached cells are replayed (marked ``cache_hit=True``); the rest
+        are computed — in-process when ``workers == 1``, otherwise across
+        the worker pool — and newly computed records are written back to
+        the cache.  Ordering is deterministic regardless of parallelism.
+        """
+        cells = list(cells)
+        started = time.perf_counter()
+        records: List[Optional[RunRecord]] = [None] * len(cells)
+        keys: List[Optional[str]] = [None] * len(cells)
+        fingerprints: Dict[int, str] = {}
+        pending: List[int] = []
+        for index, cell in enumerate(cells):
+            if self.cache is not None:
+                keys[index] = self.cache.key_for(cell, fingerprints)
+                cached = self.cache.load(keys[index])
+                if cached is not None:
+                    records[index] = dataclasses.replace(
+                        cached, cache_hit=True
+                    )
+                    continue
+            pending.append(index)
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                for index in pending:
+                    records[index] = _run_cell(cells[index])
+            else:
+                payloads = [
+                    (
+                        index,
+                        scenario_to_dict(cells[index].scenario),
+                        cells[index].heuristic,
+                        cells[index].criterion_name(),
+                        cells[index].weights.effective,
+                        cells[index].weights.urgency,
+                        cells[index].kind,
+                    )
+                    for index in pending
+                ]
+                pool = self._ensure_pool()
+                for index, document in pool.map(
+                    _execute_payload, payloads
+                ):
+                    records[index] = run_record_from_dict(document)
+            if self.cache is not None:
+                for index in pending:
+                    self.cache.store(
+                        keys[index], cells[index], records[index]
+                    )
+        wall = time.perf_counter() - started
+        summary = SweepSummary(
+            cells=len(cells),
+            computed=len(pending),
+            cache_hits=len(cells) - len(pending),
+            wall_seconds=wall,
+            scheduled_seconds=sum(r.elapsed_seconds for r in records),
+        )
+        self.stats.note(summary)
+        if self.cache is not None:
+            self.stats.cache_errors = self.cache.errors
+        self.last_summary = summary
+        logger.info(
+            "sweep: %d cells (%d computed, %d cached) in %.2fs wall, "
+            "%.2fs scheduled, speedup %.1fx",
+            summary.cells,
+            summary.computed,
+            summary.cache_hits,
+            summary.wall_seconds,
+            summary.scheduled_seconds,
+            summary.speedup,
+        )
+        return records
+
+    def run_pairs(
+        self,
+        scenarios: Sequence[Scenario],
+        heuristic: str,
+        criterion: Union[str, CostCriterion],
+        weights: Union[float, EUWeights] = 0.0,
+    ) -> List[RunRecord]:
+        """One heuristic/criterion run per scenario, at one E-U point."""
+        eu = as_weights(weights)
+        return self.run_cells(
+            [
+                SweepCell(
+                    scenario=scenario,
+                    heuristic=heuristic,
+                    criterion=criterion,
+                    weights=eu,
+                )
+                for scenario in scenarios
+            ]
+        )
+
+
+def ensure_executor(executor: Optional[SweepExecutor]) -> SweepExecutor:
+    """``executor`` itself, or a fresh serial, cache-less default."""
+    if executor is not None:
+        return executor
+    return SweepExecutor()

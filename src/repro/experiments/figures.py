@@ -10,7 +10,7 @@ tables here; any plotting library downstream) is separate, in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines.bounds import possible_satisfy, upper_bound
 from repro.baselines.random_dijkstra import RandomDijkstraBaseline
@@ -19,6 +19,7 @@ from repro.core.scenario import Scenario
 from repro.cost.weights import PAPER_LOG_RATIOS, EUWeights
 from repro.errors import ConfigurationError
 from repro.experiments.aggregate import Aggregate, aggregate_records
+from repro.experiments.executor import SweepExecutor
 from repro.experiments.runner import RunRecord, run_scheduler
 from repro.experiments.sweep import resolve_ratios, sweep_pair
 
@@ -109,6 +110,7 @@ def heuristic_figure(
     scenarios: Sequence[Scenario],
     heuristic: str,
     ratios: Sequence[Union[float, EUWeights]] = PAPER_LOG_RATIOS,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureData:
     """Figure 3, 4, or 5: one heuristic, all of its criteria, E-U sweep.
 
@@ -117,6 +119,8 @@ def heuristic_figure(
         heuristic: ``"partial"`` (Fig. 3), ``"full_one"`` (Fig. 4), or
             ``"full_all"`` (Fig. 5).
         ratios: the E-U grid (paper grid by default).
+        executor: optional :class:`SweepExecutor` supplying parallelism
+            and run-record caching for the underlying sweeps.
     """
     if heuristic not in FIGURE_CRITERIA:
         raise ConfigurationError(
@@ -128,7 +132,7 @@ def heuristic_figure(
     x_labels = tuple(weights.label() for weights in grid)
     series = []
     for criterion in FIGURE_CRITERIA[heuristic]:
-        records = sweep_pair(scenarios, heuristic, criterion, grid)
+        records = sweep_pair(scenarios, heuristic, criterion, grid, executor)
         series.append(
             _series_from_records(
                 f"{heuristic}/{criterion}", records, x_labels
@@ -151,6 +155,7 @@ def figure2(
     ratios: Sequence[Union[float, EUWeights]] = PAPER_LOG_RATIOS,
     best_criterion: str = "C4",
     baseline_seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureData:
     """Figure 2: best criterion per heuristic versus the §5.2 bounds.
 
@@ -166,6 +171,9 @@ def figure2(
             paper found C4 best for every heuristic).
         baseline_seed: RNG seed offset for the random baselines (case index
             is added so every case draws differently).
+        executor: optional :class:`SweepExecutor` supplying parallelism
+            and run-record caching for the heuristic sweeps (the bounds
+            and random baselines are cheap and stay in-process).
     """
     if not scenarios:
         raise ConfigurationError("a figure needs at least one test case")
@@ -184,7 +192,9 @@ def figure2(
         ),
     ]
     for heuristic in ("partial", "full_one", "full_all"):
-        records = sweep_pair(scenarios, heuristic, best_criterion, grid)
+        records = sweep_pair(
+            scenarios, heuristic, best_criterion, grid, executor
+        )
         series.append(
             _series_from_records(
                 f"{heuristic}/{best_criterion}", records, x_labels

@@ -9,6 +9,7 @@ these records.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
@@ -36,6 +37,9 @@ class RunRecord:
         dijkstra_runs: shortest-path-tree computations performed.
         elapsed_seconds: wall-clock scheduling time.
         average_hops: mean links traversed per satisfied request.
+        cache_hit: ``True`` when the record was replayed from the on-disk
+            run cache instead of being computed; ``elapsed_seconds`` then
+            reports the *original* run's timing, not this process's.
     """
 
     scenario: str
@@ -48,11 +52,23 @@ class RunRecord:
     dijkstra_runs: int
     elapsed_seconds: float
     average_hops: float
+    cache_hit: bool = False
 
     @property
     def satisfied_count(self) -> int:
         """Total satisfied requests."""
         return sum(self.satisfied_by_priority)
+
+    def without_timing(self) -> "RunRecord":
+        """A copy with timing and provenance fields neutralized.
+
+        Wall time varies run to run (and is replayed from the original
+        run on cache hits), so differential comparisons — serial versus
+        parallel, computed versus cached — compare these copies.
+        """
+        return dataclasses.replace(
+            self, elapsed_seconds=0.0, cache_hit=False
+        )
 
 
 def record_result(

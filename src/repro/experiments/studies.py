@@ -15,9 +15,8 @@ the companion TR):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.baselines.priority_tier import PriorityTierScheduler
 from repro.core.priority import (
     PriorityWeighting,
     WEIGHTING_1_5_10,
@@ -26,7 +25,12 @@ from repro.core.priority import (
 from repro.core.scenario import Scenario
 from repro.cost.weights import EUWeights, as_weights
 from repro.experiments.aggregate import Aggregate, per_priority_totals
-from repro.experiments.runner import RunRecord, run_pair, run_scheduler
+from repro.experiments.executor import (
+    SweepCell,
+    SweepExecutor,
+    ensure_executor,
+)
+from repro.experiments.runner import RunRecord
 from repro.heuristics.registry import paper_pairings
 from repro.workload.generator import ScenarioGenerator
 
@@ -68,6 +72,7 @@ def weighting_comparison(
         WEIGHTING_1_5_10,
         WEIGHTING_1_10_100,
     ),
+    executor: Optional[SweepExecutor] = None,
 ) -> List[WeightingOutcome]:
     """Run one scheduler on the same cases under each priority weighting.
 
@@ -77,14 +82,14 @@ def weighting_comparison(
             comparison isolates the weighting's effect.
         heuristic / criterion / weights: the scheduler under study.
         weightings: the weighting schemes to compare.
+        executor: optional :class:`SweepExecutor` supplying parallelism
+            and run-record caching.
     """
+    runner = ensure_executor(executor)
     outcomes = []
     for weighting in weightings:
         scenarios = regenerate_under_weighting(generator, seeds, weighting)
-        records = [
-            run_pair(scenario, heuristic, criterion, weights)
-            for scenario in scenarios
-        ]
+        records = runner.run_pairs(scenarios, heuristic, criterion, weights)
         satisfied, totals = per_priority_totals(records)
         outcomes.append(
             WeightingOutcome(
@@ -129,21 +134,34 @@ def priority_tier_comparison(
     heuristic: str = "full_one",
     criterion: str = "C4",
     weights: Union[float, EUWeights] = 0.0,
+    executor: Optional[SweepExecutor] = None,
 ) -> TierComparison:
-    """Compare one heuristic/criterion pair against the tiered scheme."""
+    """Compare one heuristic/criterion pair against the tiered scheme.
+
+    Both sides run through ``executor`` (default: serial, cache-less):
+    the heuristic as plain ``"pair"`` cells, the §5.4 tier scheme as
+    ``"tier"`` cells wrapping the same pair.
+    """
     eu = as_weights(weights)
-    heuristic_records: List[RunRecord] = []
-    tier_records: List[RunRecord] = []
+    runner = ensure_executor(executor)
+    heuristic_records = runner.run_pairs(
+        scenarios, heuristic, criterion, eu
+    )
+    tier_records = runner.run_cells(
+        [
+            SweepCell(
+                scenario=scenario,
+                heuristic=heuristic,
+                criterion=criterion,
+                weights=eu,
+                kind="tier",
+            )
+            for scenario in scenarios
+        ]
+    )
     wins = 0
     ties = 0
-    for scenario in scenarios:
-        h_record = run_pair(scenario, heuristic, criterion, eu)
-        tier = PriorityTierScheduler(
-            heuristic=heuristic, criterion=criterion, weights=eu
-        )
-        t_record = run_scheduler(scenario, tier)
-        heuristic_records.append(h_record)
-        tier_records.append(t_record)
+    for h_record, t_record in zip(heuristic_records, tier_records):
         if h_record.weighted_sum > t_record.weighted_sum:
             wins += 1
         elif h_record.weighted_sum == t_record.weighted_sum:
@@ -189,6 +207,7 @@ def runtime_study(
     scenarios: Sequence[Scenario],
     weights: Union[float, EUWeights] = 0.0,
     pairings: Sequence[Tuple[str, str]] = (),
+    executor: Optional[SweepExecutor] = None,
 ) -> List[RuntimeRow]:
     """Execution time and links traversed for every heuristic/criterion pair.
 
@@ -196,14 +215,15 @@ def runtime_study(
         scenarios: the test cases.
         weights: the E-U point at which the pairs are compared.
         pairings: optional subset; defaults to the paper's eleven pairs.
+        executor: optional :class:`SweepExecutor`.  Note that a cache-hit
+            record replays the *original* run's ``elapsed_seconds``, so a
+            warm cache reports historical timings, not this machine's.
     """
     pairs = tuple(pairings) or paper_pairings()
+    runner = ensure_executor(executor)
     rows = []
     for heuristic, criterion in pairs:
-        records = [
-            run_pair(scenario, heuristic, criterion, weights)
-            for scenario in scenarios
-        ]
+        records = runner.run_pairs(scenarios, heuristic, criterion, weights)
         rows.append(
             RuntimeRow(
                 scheduler=f"{heuristic}/{criterion}",

@@ -4,17 +4,28 @@ A sweep runs one heuristic/criterion pair over every test case at every
 E-U grid point.  E-U-independent criteria (C3) are executed once per case
 and their records replicated across the grid, exactly as the paper plots
 them (a horizontal line).
+
+Execution is delegated to a :class:`~repro.experiments.executor
+.SweepExecutor`; by default a serial cache-less one, so behavior without
+an ``executor`` argument is exactly the historical serial path.  Passing
+an executor adds process-level parallelism and/or run-record caching
+without changing the records (ordering included).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.scenario import Scenario
 from repro.cost.criteria import CostCriterion, get_criterion
 from repro.cost.weights import PAPER_LOG_RATIOS, EUWeights, as_weights
-from repro.experiments.runner import RunRecord, run_pair
+from repro.experiments.executor import (
+    SweepCell,
+    SweepExecutor,
+    ensure_executor,
+)
+from repro.experiments.runner import RunRecord
 
 
 def resolve_ratios(
@@ -29,6 +40,7 @@ def sweep_pair(
     heuristic: str,
     criterion: Union[str, CostCriterion],
     ratios: Sequence[Union[float, EUWeights]] = PAPER_LOG_RATIOS,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[RunRecord]:
     """All (scenario × E-U point) records for one heuristic/criterion pair.
 
@@ -38,24 +50,41 @@ def sweep_pair(
         criterion: criterion registry name or instance.
         ratios: the E-U grid; ignored (but still labelling the output) for
             E-U-independent criteria.
+        executor: optional :class:`SweepExecutor` supplying parallelism
+            and caching; defaults to a serial cache-less one.
     """
     if isinstance(criterion, str):
         criterion = get_criterion(criterion)
     grid = resolve_ratios(ratios)
-    records: List[RunRecord] = []
-    for scenario in scenarios:
-        if criterion.eu_independent:
-            base = run_pair(scenario, heuristic, criterion, grid[0])
-            records.extend(
-                dataclasses.replace(base, eu_label=weights.label())
-                for weights in grid
-            )
-        else:
-            records.extend(
-                run_pair(scenario, heuristic, criterion, weights)
-                for weights in grid
-            )
-    return records
+    runner = ensure_executor(executor)
+    if criterion.eu_independent:
+        bases = runner.run_cells(
+            [
+                SweepCell(
+                    scenario=scenario,
+                    heuristic=heuristic,
+                    criterion=criterion,
+                    weights=grid[0],
+                )
+                for scenario in scenarios
+            ]
+        )
+        return [
+            dataclasses.replace(base, eu_label=weights.label())
+            for base in bases
+            for weights in grid
+        ]
+    cells = [
+        SweepCell(
+            scenario=scenario,
+            heuristic=heuristic,
+            criterion=criterion,
+            weights=weights,
+        )
+        for scenario in scenarios
+        for weights in grid
+    ]
+    return runner.run_cells(cells)
 
 
 def sweep_all_criteria(
@@ -63,9 +92,12 @@ def sweep_all_criteria(
     heuristic: str,
     criteria: Sequence[Union[str, CostCriterion]],
     ratios: Sequence[Union[float, EUWeights]] = PAPER_LOG_RATIOS,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[RunRecord]:
     """Concatenated sweeps of several criteria for one heuristic."""
     records: List[RunRecord] = []
     for criterion in criteria:
-        records.extend(sweep_pair(scenarios, heuristic, criterion, ratios))
+        records.extend(
+            sweep_pair(scenarios, heuristic, criterion, ratios, executor)
+        )
     return records

@@ -1,15 +1,19 @@
 """JSON serialization of scenarios, schedules, and experiment results.
 
 Round-trippable plain-dict codecs: ``scenario_to_dict`` /
-``scenario_from_dict`` and friends, plus file helpers.  The format is
-versioned so future extensions can stay backward compatible.
+``scenario_from_dict`` and friends (including :class:`~repro.experiments
+.runner.RunRecord` via ``run_record_to_dict`` / ``run_record_from_dict``),
+plus file helpers and the content-addressed :func:`scenario_fingerprint`
+used by the run cache.  The format is versioned so future extensions can
+stay backward compatible.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import TYPE_CHECKING, Any, Dict, Union
 
 from repro.core.data import DataItem, SourceLocation
 from repro.core.intervals import Interval
@@ -21,6 +25,10 @@ from repro.core.request import Request
 from repro.core.scenario import Scenario
 from repro.core.schedule import Schedule
 from repro.errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports
+    # the core model; experiments modules import this module back)
+    from repro.experiments.runner import RunRecord
 
 #: Format version written into every serialized document.
 FORMAT_VERSION = 1
@@ -224,6 +232,90 @@ def schedule_from_dict(document: Dict[str, Any]) -> Schedule:
             hops=entry["hops"],
         )
     return schedule
+
+
+# ---------------------------------------------------------------------------
+# Run records
+# ---------------------------------------------------------------------------
+
+def run_record_to_dict(record: "RunRecord") -> Dict[str, Any]:
+    """A JSON-ready dict capturing one scheduler execution record."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "run_record",
+        "scenario": record.scenario,
+        "scheduler": record.scheduler,
+        "eu_label": record.eu_label,
+        "weighted_sum": record.weighted_sum,
+        "satisfied_by_priority": list(record.satisfied_by_priority),
+        "total_by_priority": list(record.total_by_priority),
+        "steps": record.steps,
+        "dijkstra_runs": record.dijkstra_runs,
+        "elapsed_seconds": record.elapsed_seconds,
+        "average_hops": record.average_hops,
+        "cache_hit": record.cache_hit,
+    }
+
+
+def run_record_from_dict(document: Dict[str, Any]) -> "RunRecord":
+    """Rebuild a run record from :func:`run_record_to_dict` output.
+
+    Raises:
+        ModelError: on missing keys or a wrong document kind.
+    """
+    from repro.experiments.runner import RunRecord
+
+    if _require(document, "kind") != "run_record":
+        raise ModelError(
+            f"expected a run_record document, got "
+            f"kind={document.get('kind')!r}"
+        )
+    return RunRecord(
+        scenario=_require(document, "scenario"),
+        scheduler=_require(document, "scheduler"),
+        eu_label=_require(document, "eu_label"),
+        weighted_sum=_require(document, "weighted_sum"),
+        satisfied_by_priority=tuple(
+            _require(document, "satisfied_by_priority")
+        ),
+        total_by_priority=tuple(_require(document, "total_by_priority")),
+        steps=_require(document, "steps"),
+        dijkstra_runs=_require(document, "dijkstra_runs"),
+        elapsed_seconds=_require(document, "elapsed_seconds"),
+        average_hops=_require(document, "average_hops"),
+        cache_hit=bool(document.get("cache_hit", False)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Content addressing
+# ---------------------------------------------------------------------------
+
+def canonical_scenario_json(scenario: Scenario) -> str:
+    """The scenario's canonical JSON text (sorted keys, no whitespace).
+
+    Two scenarios produce the same text exactly when
+    :func:`scenario_to_dict` captures them identically, so this is the
+    content-addressing basis of the run cache.
+    """
+    return json.dumps(
+        scenario_to_dict(scenario),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=True,
+    )
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """SHA-256 hex digest of :func:`canonical_scenario_json`.
+
+    Any change to the scenario content — topology, windows, items,
+    requests, weighting, name — yields a different fingerprint, which
+    invalidates every cached run record keyed on it.
+    """
+    return hashlib.sha256(
+        canonical_scenario_json(scenario).encode("utf-8")
+    ).hexdigest()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,130 @@
+"""Unit tests for the sweep executor core (serial path, ordering, stats)."""
+
+import logging
+
+import pytest
+
+from repro.cost.weights import as_weights
+from repro.errors import ConfigurationError
+from repro.experiments.executor import (
+    SweepCell,
+    SweepExecutor,
+    ensure_executor,
+)
+from repro.experiments.runner import run_pair
+from repro.experiments.sweep import sweep_pair
+
+RATIOS = (float("-inf"), 0.0, 2.0)
+
+
+class TestSerialPath:
+    def test_run_pairs_matches_direct_run_pair(self, tiny_scenarios):
+        with SweepExecutor(workers=1) as executor:
+            records = executor.run_pairs(tiny_scenarios, "full_one", "C4", 2.0)
+        direct = [
+            run_pair(scenario, "full_one", "C4", 2.0)
+            for scenario in tiny_scenarios
+        ]
+        assert [r.without_timing() for r in records] == [
+            r.without_timing() for r in direct
+        ]
+
+    def test_records_come_back_in_cell_order(self, tiny_scenarios):
+        cells = [
+            SweepCell(
+                scenario=scenario,
+                heuristic="full_one",
+                criterion="C4",
+                weights=as_weights(ratio),
+            )
+            for scenario in tiny_scenarios[:3]
+            for ratio in RATIOS
+        ]
+        with SweepExecutor(workers=1) as executor:
+            records = executor.run_cells(cells)
+        assert [(r.scenario, r.eu_label) for r in records] == [
+            (cell.scenario.name, cell.weights.label()) for cell in cells
+        ]
+
+    def test_empty_grid(self):
+        with SweepExecutor(workers=1) as executor:
+            assert executor.run_cells([]) == []
+        assert executor.last_summary.cells == 0
+        assert executor.last_summary.computed == 0
+
+    def test_sweep_pair_with_executor_matches_default(self, tiny_scenarios):
+        baseline = sweep_pair(tiny_scenarios[:2], "full_one", "C4", RATIOS)
+        with SweepExecutor(workers=1) as executor:
+            records = sweep_pair(
+                tiny_scenarios[:2], "full_one", "C4", RATIOS, executor
+            )
+        assert [r.without_timing() for r in records] == [
+            r.without_timing() for r in baseline
+        ]
+
+    def test_eu_independent_sweep_runs_once_per_case(self, tiny_scenarios):
+        with SweepExecutor(workers=1) as executor:
+            records = sweep_pair(
+                tiny_scenarios[:2], "partial", "C3", RATIOS, executor
+            )
+        # One actual run per scenario, replicated across the grid.
+        assert executor.last_summary.computed == 2
+        assert len(records) == 6
+        assert [r.eu_label for r in records] == ["-inf", "0", "2"] * 2
+
+
+class TestValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(workers=0)
+
+    def test_unknown_cell_kind_rejected(self, tiny_scenarios):
+        with pytest.raises(ConfigurationError):
+            SweepCell(
+                scenario=tiny_scenarios[0],
+                heuristic="full_one",
+                criterion="C4",
+                weights=as_weights(0.0),
+                kind="bogus",
+            )
+
+    def test_ensure_executor_passthrough(self):
+        with SweepExecutor(workers=1) as executor:
+            assert ensure_executor(executor) is executor
+        default = ensure_executor(None)
+        assert default.workers == 1
+        assert default.cache is None
+
+    def test_close_is_idempotent(self):
+        executor = SweepExecutor(workers=2)
+        executor.close()
+        executor.close()
+
+
+class TestSummary:
+    def test_summary_line_logged(self, tiny_scenarios, caplog):
+        with caplog.at_level(
+            logging.INFO, logger="repro.experiments.executor"
+        ):
+            with SweepExecutor(workers=1) as executor:
+                executor.run_pairs(tiny_scenarios[:2], "partial", "C4", 0.0)
+        messages = [record.message for record in caplog.records]
+        assert any(
+            "2 cells (2 computed, 0 cached)" in message
+            for message in messages
+        )
+
+    def test_stats_accumulate_across_calls(self, tiny_scenarios):
+        with SweepExecutor(workers=1) as executor:
+            executor.run_pairs(tiny_scenarios[:2], "partial", "C4", 0.0)
+            executor.run_pairs(tiny_scenarios[:3], "partial", "C4", 2.0)
+        assert executor.stats.computed == 5
+        assert executor.stats.cache_hits == 0
+        assert executor.stats.wall_seconds > 0.0
+
+    def test_summary_speedup_guard(self, tiny_scenarios):
+        with SweepExecutor(workers=1) as executor:
+            executor.run_pairs(tiny_scenarios[:1], "partial", "C4", 0.0)
+            summary = executor.last_summary
+        assert summary.cells == 1
+        assert summary.speedup >= 0.0

@@ -1,0 +1,91 @@
+"""Differential tests: parallel sweeps must equal the serial path.
+
+The determinism contract of :class:`~repro.experiments.executor
+.SweepExecutor` is that worker count never changes the returned records
+(modulo wall-clock timing) nor, therefore, any rendered figure or table.
+A Hypothesis property pins that on randomized small workloads from
+:mod:`repro.workload.generator`; a deterministic companion test covers
+the paper's full E-U grid end-to-end through the figure renderer.
+
+The parallel worker count honours ``REPRO_WORKERS`` (default 4) so CI
+can run a cheap ``workers=2`` smoke pass of this module.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cost.weights import PAPER_LOG_RATIOS
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.figures import heuristic_figure
+from repro.experiments.sweep import sweep_pair
+from repro.experiments.tables import render_figure
+from repro.workload.config import GeneratorConfig
+from repro.workload.generator import ScenarioGenerator
+
+PARALLEL_WORKERS = int(os.environ.get("REPRO_WORKERS", "4"))
+
+RATIO_POINTS = (float("-inf"), -2.0, 0.0, 2.0, float("inf"))
+
+PAIRS = tuple(
+    (heuristic, criterion)
+    for heuristic in ("partial", "full_one", "full_all")
+    for criterion in ("C1", "C2", "C3", "C4")
+    if not (heuristic == "full_all" and criterion == "C1")
+)
+
+_GENERATOR = ScenarioGenerator(GeneratorConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def parallel_executor():
+    """One pooled executor shared by every example (pool spin-up is paid
+    once, not per Hypothesis example)."""
+    with SweepExecutor(workers=PARALLEL_WORKERS) as executor:
+        yield executor
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    pair=st.sampled_from(PAIRS),
+    ratios=st.lists(
+        st.sampled_from(RATIO_POINTS),
+        min_size=1,
+        max_size=3,
+        unique=True,
+    ),
+)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_parallel_sweep_equals_serial(parallel_executor, seed, pair, ratios):
+    heuristic, criterion = pair
+    scenarios = _GENERATOR.generate_suite(2, base_seed=seed)
+    serial = sweep_pair(scenarios, heuristic, criterion, tuple(ratios))
+    parallel = sweep_pair(
+        scenarios, heuristic, criterion, tuple(ratios), parallel_executor
+    )
+    assert [r.without_timing() for r in parallel] == [
+        r.without_timing() for r in serial
+    ]
+
+
+def test_paper_grid_figure_is_byte_identical(parallel_executor):
+    """A full paper-E-U-grid figure renders identically at any parallelism."""
+    scenarios = _GENERATOR.generate_suite(2, base_seed=42)
+    serial_text = render_figure(
+        heuristic_figure(scenarios, "full_one", PAPER_LOG_RATIOS)
+    )
+    parallel_text = render_figure(
+        heuristic_figure(
+            scenarios,
+            "full_one",
+            PAPER_LOG_RATIOS,
+            executor=parallel_executor,
+        )
+    )
+    assert parallel_text == serial_text

@@ -1,0 +1,163 @@
+"""Golden regression tests for the figure/table producers.
+
+Every rendered ci-scale figure (Figures 2–5) and §5.4 table must match
+the checked-in artifacts under ``benchmarks/results/ci/`` byte for byte,
+so refactors of the experiments layer (sweeps, executor, aggregation,
+rendering) cannot silently change the reproduced numbers.  The runtime
+table (``tab_runtime_links``) is excluded: its cells are wall-clock
+timings.
+
+The scale is pinned to ``ci`` explicitly (ignoring ``REPRO_SCALE``) and
+all sweeps share one cached executor, so the figure-2 C4 series replay
+the figure-3/4/5 computations instead of recomputing them.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.figures import figure2, heuristic_figure
+from repro.experiments.scale import scale_by_name
+from repro.experiments.studies import (
+    priority_tier_comparison,
+    weighting_comparison,
+)
+from repro.experiments.tables import render_figure, render_minmax, render_table
+from repro.workload.generator import ScenarioGenerator
+
+GOLDEN_DIR = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "results" / "ci"
+)
+
+
+def _golden(name: str) -> str:
+    return (GOLDEN_DIR / f"{name}.txt").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def ci_scale():
+    return scale_by_name("ci")
+
+
+@pytest.fixture(scope="module")
+def ci_generator(ci_scale):
+    return ScenarioGenerator(ci_scale.config)
+
+
+@pytest.fixture(scope="module")
+def ci_scenarios(ci_scale, ci_generator):
+    return ci_generator.generate_suite(ci_scale.cases, ci_scale.base_seed)
+
+
+@pytest.fixture(scope="module")
+def executor(tmp_path_factory):
+    with SweepExecutor(
+        workers=1, cache_dir=tmp_path_factory.mktemp("golden-run-cache")
+    ) as instance:
+        yield instance
+
+
+@pytest.mark.parametrize(
+    ("heuristic", "name"),
+    [
+        ("partial", "figure3"),
+        ("full_one", "figure4"),
+        ("full_all", "figure5"),
+    ],
+)
+def test_heuristic_figure_matches_golden(
+    ci_scale, ci_scenarios, executor, heuristic, name
+):
+    data = heuristic_figure(
+        ci_scenarios, heuristic, ci_scale.log_ratios, executor=executor
+    )
+    assert render_figure(data) + "\n" == _golden(name)
+
+
+@pytest.fixture(scope="module")
+def figure2_data(ci_scale, ci_scenarios, executor):
+    return figure2(ci_scenarios, ci_scale.log_ratios, executor=executor)
+
+
+def test_figure2_matches_golden(figure2_data):
+    assert render_figure(figure2_data) + "\n" == _golden("figure2")
+
+
+def test_minmax_table_matches_golden(figure2_data):
+    label = (
+        "2"
+        if "2" in figure2_data.x_labels
+        else figure2_data.x_labels[len(figure2_data.x_labels) // 2]
+    )
+    assert render_minmax(figure2_data, label) + "\n" == _golden("tab_minmax")
+
+
+def test_weighting_table_matches_golden(ci_scale, ci_generator, executor):
+    seeds = list(
+        range(ci_scale.base_seed, ci_scale.base_seed + ci_scale.cases)
+    )
+    outcomes = weighting_comparison(
+        ci_generator,
+        seeds,
+        heuristic="full_one",
+        criterion="C4",
+        weights=2.0,
+        executor=executor,
+    )
+    rows = [
+        [
+            outcome.weighting,
+            f"{outcome.mean_weighted_sum:.1f}",
+            f"{outcome.mean_satisfied_by_priority[2]:.2f}",
+            f"{outcome.mean_satisfied_by_priority[1]:.2f}",
+            f"{outcome.mean_satisfied_by_priority[0]:.2f}",
+            f"{sum(outcome.mean_total_by_priority):.0f}",
+        ]
+        for outcome in outcomes
+    ]
+    text = render_table(
+        ["weighting", "weighted-sum", "high", "medium", "low", "requests"],
+        rows,
+        title=(
+            "TAB-W: satisfied requests per priority class, full_one/C4 @ "
+            f"log10(E-U)=2, {ci_scale.cases} cases"
+        ),
+    )
+    assert text + "\n" == _golden("tab_weightings")
+
+
+def test_priority_tier_table_matches_golden(ci_scenarios, executor):
+    comparison = priority_tier_comparison(
+        ci_scenarios,
+        heuristic="full_one",
+        criterion="C4",
+        weights=2.0,
+        executor=executor,
+    )
+    rows = [
+        [
+            comparison.scheduler,
+            f"{comparison.heuristic_weighted_sum:.1f}",
+            f"{comparison.heuristic_satisfied_by_priority[2]:.2f}",
+            f"{comparison.heuristic_satisfied_by_priority[1]:.2f}",
+            f"{comparison.heuristic_satisfied_by_priority[0]:.2f}",
+        ],
+        [
+            "priority_tier",
+            f"{comparison.tier_weighted_sum:.1f}",
+            f"{comparison.tier_satisfied_by_priority[2]:.2f}",
+            f"{comparison.tier_satisfied_by_priority[1]:.2f}",
+            f"{comparison.tier_satisfied_by_priority[0]:.2f}",
+        ],
+    ]
+    text = render_table(
+        ["scheduler", "weighted-sum", "high", "medium", "low"],
+        rows,
+        title=(
+            f"TAB-PT: cost-driven vs tiered scheduling @ log10(E-U)=2, "
+            f"{comparison.cases} cases "
+            f"(wins={comparison.wins}, ties={comparison.ties})"
+        ),
+    )
+    assert text + "\n" == _golden("tab_priority_tier")

@@ -1,0 +1,188 @@
+"""Run-cache correctness: accounting, corruption recovery, invalidation."""
+
+import dataclasses
+import json
+import logging
+from pathlib import Path
+
+from repro.cost.weights import as_weights
+from repro.experiments.executor import RunCache, SweepCell, SweepExecutor
+
+
+def _cache_files(cache_dir):
+    return sorted(Path(cache_dir).rglob("*.json"))
+
+
+class TestHitMissAccounting:
+    def test_cold_then_warm(self, tiny_scenarios, tmp_path):
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as executor:
+            first = executor.run_pairs(tiny_scenarios, "full_one", "C4", 2.0)
+            assert executor.last_summary.computed == len(tiny_scenarios)
+            assert executor.last_summary.cache_hits == 0
+            assert not any(r.cache_hit for r in first)
+
+            second = executor.run_pairs(tiny_scenarios, "full_one", "C4", 2.0)
+            assert executor.last_summary.computed == 0
+            assert executor.last_summary.cache_hits == len(tiny_scenarios)
+            assert all(r.cache_hit for r in second)
+            assert executor.stats.computed == len(tiny_scenarios)
+            assert executor.stats.cache_hits == len(tiny_scenarios)
+
+        assert [r.without_timing() for r in first] == [
+            r.without_timing() for r in second
+        ]
+        # Replayed timing is the original run's, not zero/fresh.
+        assert [r.elapsed_seconds for r in first] == [
+            r.elapsed_seconds for r in second
+        ]
+
+    def test_warm_cache_survives_the_executor(self, tiny_scenarios, tmp_path):
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as executor:
+            executor.run_pairs(tiny_scenarios, "partial", "C2", 0.0)
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as second:
+            records = second.run_pairs(tiny_scenarios, "partial", "C2", 0.0)
+            assert second.last_summary.computed == 0
+            assert all(r.cache_hit for r in records)
+
+    def test_partial_overlap_computes_only_misses(
+        self, tiny_scenarios, tmp_path
+    ):
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as executor:
+            executor.run_pairs(tiny_scenarios[:3], "full_one", "C4", 0.0)
+            executor.run_pairs(tiny_scenarios, "full_one", "C4", 0.0)
+            assert executor.last_summary.cache_hits == 3
+            assert executor.last_summary.computed == len(tiny_scenarios) - 3
+
+    def test_different_coordinates_are_different_entries(
+        self, tiny_scenarios, tmp_path
+    ):
+        scenario = tiny_scenarios[0]
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as executor:
+            executor.run_pairs([scenario], "full_one", "C4", 0.0)
+            for heuristic, criterion, ratio in (
+                ("partial", "C4", 0.0),
+                ("full_one", "C2", 0.0),
+                ("full_one", "C4", 2.0),
+            ):
+                executor.run_pairs([scenario], heuristic, criterion, ratio)
+                assert executor.last_summary.computed == 1, (
+                    heuristic,
+                    criterion,
+                    ratio,
+                )
+        assert len(_cache_files(tmp_path)) == 4
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_entry_recomputed_with_warning(
+        self, tiny_scenarios, tmp_path, caplog
+    ):
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as executor:
+            first = executor.run_pairs(tiny_scenarios[:2], "partial", "C4", 0.0)
+        target = _cache_files(tmp_path)[0]
+        target.write_text("{this is not json", encoding="utf-8")
+
+        with caplog.at_level(
+            logging.WARNING, logger="repro.experiments.executor"
+        ):
+            with SweepExecutor(workers=1, cache_dir=tmp_path) as second:
+                records = second.run_pairs(
+                    tiny_scenarios[:2], "partial", "C4", 0.0
+                )
+                assert second.last_summary.computed == 1
+                assert second.last_summary.cache_hits == 1
+                assert second.stats.cache_errors == 1
+        assert any(
+            "unreadable" in record.message for record in caplog.records
+        )
+        assert [r.without_timing() for r in records] == [
+            r.without_timing() for r in first
+        ]
+
+        # The corrupt entry was rewritten: a third run is all hits.
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as third:
+            third.run_pairs(tiny_scenarios[:2], "partial", "C4", 0.0)
+            assert third.last_summary.computed == 0
+
+    def test_wrong_kind_entry_is_a_miss(self, tiny_scenarios, tmp_path):
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as executor:
+            executor.run_pairs(tiny_scenarios[:1], "full_one", "C4", 0.0)
+        target = _cache_files(tmp_path)[0]
+        target.write_text(json.dumps({"kind": "scenario"}), encoding="utf-8")
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as second:
+            second.run_pairs(tiny_scenarios[:1], "full_one", "C4", 0.0)
+            assert second.last_summary.computed == 1
+
+
+class TestInvalidation:
+    def test_scenario_content_change_invalidates(
+        self, tiny_scenarios, tmp_path
+    ):
+        scenario = tiny_scenarios[0]
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as executor:
+            executor.run_pairs([scenario], "full_one", "C4", 0.0)
+            assert executor.last_summary.computed == 1
+
+            mutated = dataclasses.replace(
+                scenario, gc_delay=scenario.gc_delay + 1.0
+            )
+            executor.run_pairs([mutated], "full_one", "C4", 0.0)
+            assert executor.last_summary.computed == 1  # fingerprint changed
+
+            executor.run_pairs([scenario], "full_one", "C4", 0.0)
+            assert executor.last_summary.cache_hits == 1  # original intact
+        assert len(_cache_files(tmp_path)) == 2
+
+
+class TestCacheKey:
+    def test_key_is_stable_and_coordinate_sensitive(self, tiny_scenarios):
+        cache = RunCache("unused-directory")
+        scenario = tiny_scenarios[0]
+        base = SweepCell(
+            scenario=scenario,
+            heuristic="full_one",
+            criterion="C4",
+            weights=as_weights(2.0),
+        )
+        assert cache.key_for(base) == cache.key_for(base)
+        variants = (
+            dataclasses.replace(base, heuristic="partial"),
+            dataclasses.replace(base, criterion="C2"),
+            dataclasses.replace(base, weights=as_weights(0.0)),
+            dataclasses.replace(base, kind="tier"),
+            dataclasses.replace(base, scenario=tiny_scenarios[1]),
+        )
+        keys = {cache.key_for(cell) for cell in (base,) + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_eu_independent_weights_share_one_entry(self, tiny_scenarios):
+        cache = RunCache("unused-directory")
+        scenario = tiny_scenarios[0]
+        cells = [
+            SweepCell(
+                scenario=scenario,
+                heuristic="partial",
+                criterion="C3",
+                weights=as_weights(ratio),
+            )
+            for ratio in (float("-inf"), 0.0, 5.0)
+        ]
+        assert len({cache.key_for(cell) for cell in cells}) == 1
+
+    def test_timing_is_not_part_of_cache_identity(
+        self, tiny_scenarios, tmp_path
+    ):
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as executor:
+            executor.run_pairs(tiny_scenarios[:1], "full_one", "C4", 0.0)
+        target = _cache_files(tmp_path)[0]
+        document = json.loads(target.read_text(encoding="utf-8"))
+        document["record"]["elapsed_seconds"] = 123.0
+        target.write_text(json.dumps(document), encoding="utf-8")
+
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as second:
+            records = second.run_pairs(
+                tiny_scenarios[:1], "full_one", "C4", 0.0
+            )
+            assert second.last_summary.cache_hits == 1  # still a hit
+        assert records[0].elapsed_seconds == 123.0  # replayed as stored
+        assert records[0].cache_hit

@@ -1,5 +1,6 @@
 """Unit tests for JSON serialization round trips."""
 
+import dataclasses
 import json
 
 import pytest
@@ -7,12 +8,17 @@ import pytest
 from repro.core.evaluation import evaluate_schedule
 from repro.core.validation import ScheduleValidator
 from repro.errors import ModelError
+from repro.experiments.runner import RunRecord, run_pair
 from repro.heuristics.registry import make_heuristic
 from repro.serialization import (
+    canonical_scenario_json,
     load_scenario,
     load_schedule,
+    run_record_from_dict,
+    run_record_to_dict,
     save_scenario,
     save_schedule,
+    scenario_fingerprint,
     scenario_from_dict,
     scenario_to_dict,
     schedule_from_dict,
@@ -127,3 +133,78 @@ class TestScheduleRoundTrip:
             other = restored.delivery(request_id)
             assert other.arrival == delivery.arrival
             assert other.hops == delivery.hops
+
+
+class TestRunRecordRoundTrip:
+    def test_dict_round_trip_is_lossless(self, tiny_scenarios):
+        record = run_pair(tiny_scenarios[0], "full_one", "C4", 2.0)
+        assert run_record_from_dict(run_record_to_dict(record)) == record
+
+    def test_json_round_trip_is_lossless(self, tiny_scenarios):
+        record = run_pair(tiny_scenarios[1], "partial", "C3", 0.0)
+        document = json.loads(json.dumps(run_record_to_dict(record)))
+        assert run_record_from_dict(document) == record
+
+    def test_cache_hit_flag_survives(self, tiny_scenarios):
+        record = dataclasses.replace(
+            run_pair(tiny_scenarios[0], "full_all", "C2", 0.0),
+            cache_hit=True,
+        )
+        restored = run_record_from_dict(run_record_to_dict(record))
+        assert restored.cache_hit
+        assert restored == record
+
+    def test_every_field_is_serialized(self, tiny_scenarios):
+        # Guards field drift: a field added to RunRecord without a codec
+        # update fails here instead of silently vanishing from caches.
+        record = run_pair(tiny_scenarios[0], "full_one", "C4", 0.0)
+        document = run_record_to_dict(record)
+        field_names = {f.name for f in dataclasses.fields(RunRecord)}
+        assert field_names <= set(document)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ModelError):
+            run_record_from_dict({"kind": "schedule"})
+
+    def test_missing_field_rejected(self, tiny_scenarios):
+        document = run_record_to_dict(
+            run_pair(tiny_scenarios[0], "full_one", "C4", 0.0)
+        )
+        del document["weighted_sum"]
+        with pytest.raises(ModelError):
+            run_record_from_dict(document)
+
+
+class TestScenarioFingerprint:
+    def test_fingerprint_is_deterministic(self, tiny_scenarios):
+        assert scenario_fingerprint(
+            tiny_scenarios[0]
+        ) == scenario_fingerprint(tiny_scenarios[0])
+
+    def test_fingerprint_survives_a_round_trip(self, tiny_scenarios):
+        original = tiny_scenarios[0]
+        restored = scenario_from_dict(scenario_to_dict(original))
+        assert scenario_fingerprint(restored) == scenario_fingerprint(
+            original
+        )
+
+    def test_fingerprint_separates_scenarios(self, tiny_scenarios):
+        fingerprints = {
+            scenario_fingerprint(scenario) for scenario in tiny_scenarios
+        }
+        assert len(fingerprints) == len(tiny_scenarios)
+
+    def test_content_change_changes_fingerprint(self, tiny_scenarios):
+        original = tiny_scenarios[0]
+        mutated = dataclasses.replace(
+            original, gc_delay=original.gc_delay + 1.0
+        )
+        assert scenario_fingerprint(mutated) != scenario_fingerprint(
+            original
+        )
+
+    def test_canonical_json_is_compact_and_sorted(self, tiny_scenarios):
+        text = canonical_scenario_json(tiny_scenarios[0])
+        document = json.loads(text)
+        assert document["kind"] == "scenario"
+        assert ": " not in text  # compact separators

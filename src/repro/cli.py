@@ -12,13 +12,20 @@ Subcommands:
 The ``sweep`` and ``figure`` subcommands accept ``--workers`` (process
 fan-out), ``--cache-dir`` (persistent run-record cache), and
 ``--no-cache`` (ignore an otherwise-configured cache); see
-:mod:`repro.experiments.executor`.
+:mod:`repro.experiments.executor`.  They also accept the observability
+flags ``--metrics PATH`` (collect per-scheduler metrics and write the
+merged aggregate as schema-versioned JSON) and ``--trace-out PATH``
+(stream structured scheduler events as JSON lines); see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import ExitStack
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.gantt import render_gantt
@@ -35,9 +42,16 @@ from repro.experiments.runner import run_pair
 from repro.experiments.scale import scale_by_name
 from repro.experiments.tables import render_figure
 from repro.heuristics.registry import heuristic_names, make_heuristic
+from repro.observability import (
+    JsonlTracer,
+    render_link_utilization,
+    render_scheduler_summaries,
+    use_tracer,
+)
 from repro.serialization import (
     load_scenario,
     load_schedule,
+    run_metrics_to_dict,
     save_scenario,
     save_schedule,
 )
@@ -64,11 +78,58 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="ignore --cache-dir and recompute every cell",
     )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help=(
+            "collect scheduler metrics, print per-scheduler summaries, "
+            "and write the merged aggregate to PATH as JSON"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="stream structured scheduler events to PATH as JSON lines",
+    )
 
 
 def _executor_from_args(args: argparse.Namespace) -> SweepExecutor:
     cache_dir = None if args.no_cache else args.cache_dir
-    return SweepExecutor(workers=args.workers, cache_dir=cache_dir)
+    return SweepExecutor(
+        workers=args.workers,
+        cache_dir=cache_dir,
+        metrics=args.metrics is not None,
+    )
+
+
+def _install_tracer(args: argparse.Namespace, stack: ExitStack) -> None:
+    """Make a ``--trace-out`` stream the ambient tracer for the block.
+
+    With ``--workers N > 1`` the stream only captures main-process events
+    (cell accounting); scheduler events from worker processes are
+    aggregated through ``--metrics`` instead.
+    """
+    if args.trace_out:
+        tracer = stack.enter_context(JsonlTracer(args.trace_out))
+        stack.enter_context(use_tracer(tracer))
+
+
+def _emit_metrics(args: argparse.Namespace, executor: SweepExecutor) -> None:
+    """Print metric summaries and write the merged aggregate JSON."""
+    if not executor.metrics:
+        return
+    total = executor.metrics_total()
+    if executor.metrics_by_scheduler:
+        print(render_scheduler_summaries(executor.metrics_by_scheduler))
+    if total.link_busy_seconds:
+        print(render_link_utilization(total))
+    Path(args.metrics).write_text(
+        json.dumps(run_metrics_to_dict(total), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    print(f"metrics written to {args.metrics}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -243,7 +304,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     scale = scale_by_name(args.scale)
     generator = ScenarioGenerator(scale.config)
     scenarios = generator.generate_suite(scale.cases, scale.base_seed)
-    with _executor_from_args(args) as executor:
+    with ExitStack() as stack:
+        _install_tracer(args, stack)
+        executor = stack.enter_context(_executor_from_args(args))
         if args.figure_id == "2":
             data = figure2(
                 scenarios, scale.log_ratios, executor=executor
@@ -256,6 +319,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 scenarios, heuristic, scale.log_ratios, executor=executor
             )
     print(render_figure(data))
+    _emit_metrics(args, executor)
     return 0
 
 
@@ -310,7 +374,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     generator = ScenarioGenerator(scale.config)
     scenarios = generator.generate_suite(scale.cases, scale.base_seed)
     grid = resolve_ratios(scale.log_ratios)
-    with _executor_from_args(args) as executor:
+    with ExitStack() as stack:
+        _install_tracer(args, stack)
+        executor = stack.enter_context(_executor_from_args(args))
         records = sweep_pair(
             scenarios, args.heuristic, args.criterion, grid, executor
         )
@@ -338,6 +404,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{summary.cache_hits} cached; {summary.wall_seconds:.2f}s "
             f"wall, speedup {summary.speedup:.1f}x]"
         )
+    _emit_metrics(args, executor)
     return 0
 
 

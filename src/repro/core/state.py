@@ -30,6 +30,21 @@ from repro.core.schedule import Schedule
 from repro.core.scenario import Scenario
 from repro.core.timeline import CapacityTimeline
 from repro.errors import InfeasibleTransferError, SchedulingError
+from repro.observability.tracer import (
+    REASON_ALREADY_AT_DESTINATION,
+    REASON_LINK_BUSY,
+    REASON_LINK_CUTOFF,
+    REASON_NO_LINK_SLOT,
+    REASON_NO_SENDER_COPY,
+    REASON_NO_STORAGE,
+    REASON_SENDER_NOT_AVAILABLE,
+    REASON_SENDER_RELEASED,
+    REASON_STORAGE_CONFLICT,
+    REASON_WINDOW_CLOSED,
+    REASON_WINDOW_ESCAPE,
+    Tracer,
+    current_tracer,
+)
 
 
 @dataclass(frozen=True)
@@ -88,8 +103,16 @@ class BookingResult:
 class NetworkState:
     """Resource and copy-location state during schedule construction."""
 
-    def __init__(self, scenario: Scenario, schedule_name: str = "") -> None:
+    def __init__(
+        self,
+        scenario: Scenario,
+        schedule_name: str = "",
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self._scenario = scenario
+        # The ambient tracer is captured once at construction; the default
+        # NullTracer keeps every event site down to one branch.
+        self._tracer = tracer if tracer is not None else current_tracer()
         network = scenario.network
         self._busy: List[IntervalSet] = [
             IntervalSet() for _ in network.virtual_links
@@ -150,6 +173,7 @@ class NetworkState:
         """
         clone = NetworkState.__new__(NetworkState)
         clone._scenario = self._scenario
+        clone._tracer = self._tracer
         clone._busy = [busy.copy() for busy in self._busy]
         clone._timelines = [timeline.copy() for timeline in self._timelines]
         clone._copies = [dict(copies) for copies in self._copies]
@@ -182,6 +206,11 @@ class NetworkState:
     def schedule(self) -> Schedule:
         """The schedule built so far (owned by this state)."""
         return self._schedule
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer observing this state (NullTracer when disabled)."""
+        return self._tracer
 
     def copies(self, item_id: int) -> Dict[int, CopyRecord]:
         """Current copies of an item, keyed by machine (snapshot)."""
@@ -284,7 +313,15 @@ class NetworkState:
             A :class:`TransferPlan`, or ``None`` when no feasible start
             exists on this link.
         """
+        tracer = self._tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.on_transfer_attempt(item_id, link.link_id)
         if self.holds(item_id, link.destination):
+            if tracing:
+                tracer.on_transfer_rejected(
+                    item_id, link.link_id, REASON_ALREADY_AT_DESTINATION
+                )
             return None
         item = self._scenario.item(item_id)
         if duration is None:
@@ -300,6 +337,10 @@ class NetworkState:
             self._link_cutoff[link.link_id],
         )
         if window_end <= link.start:
+            if tracing:
+                tracer.on_transfer_rejected(
+                    item_id, link.link_id, REASON_WINDOW_CLOSED
+                )
             return None
         window = Interval(link.start, window_end)
         timeline = self._timelines[link.destination]
@@ -308,6 +349,10 @@ class NetworkState:
         while True:
             start = busy.earliest_fit(duration, window, earliest=cursor)
             if start is None:
+                if tracing:
+                    tracer.on_transfer_rejected(
+                        item_id, link.link_id, REASON_NO_LINK_SLOT
+                    )
                 return None
             residency = Interval(start, release)
             if timeline.can_reserve(item.size, residency):
@@ -322,6 +367,10 @@ class NetworkState:
                 timeline, item.size, start, release
             )
             if next_start is None or next_start + duration > window.end:
+                if tracing:
+                    tracer.on_transfer_rejected(
+                        item_id, link.link_id, REASON_NO_STORAGE
+                    )
                 return None
             if next_start <= start:
                 raise SchedulingError(
@@ -365,6 +414,14 @@ class NetworkState:
 
     # -- mutation ---------------------------------------------------------------
 
+    def _reject_booking(
+        self, item_id: int, link_id: int, reason: str, message: str
+    ) -> None:
+        """Emit a booking-failure event and raise the diagnostic."""
+        if self._tracer.enabled:
+            self._tracer.on_booking_failed(item_id, link_id, reason)
+        raise InfeasibleTransferError(message)
+
     def book_transfer(self, plan: TransferPlan) -> BookingResult:
         """Execute a :class:`TransferPlan`: reserve resources, place the copy.
 
@@ -377,47 +434,72 @@ class NetworkState:
         link = plan.link
         item = self._scenario.item(plan.item_id)
         if self.holds(plan.item_id, link.destination):
-            raise InfeasibleTransferError(
+            self._reject_booking(
+                plan.item_id,
+                link.link_id,
+                REASON_ALREADY_AT_DESTINATION,
                 f"machine {link.destination} already holds item "
-                f"{plan.item_id}"
+                f"{plan.item_id}",
             )
         sender_copy = self._copies[plan.item_id].get(link.source)
         if sender_copy is None:
-            raise InfeasibleTransferError(
-                f"machine {link.source} holds no copy of item {plan.item_id}"
+            self._reject_booking(
+                plan.item_id,
+                link.link_id,
+                REASON_NO_SENDER_COPY,
+                f"machine {link.source} holds no copy of item "
+                f"{plan.item_id}",
             )
         if plan.start < sender_copy.available_from:
-            raise InfeasibleTransferError(
+            self._reject_booking(
+                plan.item_id,
+                link.link_id,
+                REASON_SENDER_NOT_AVAILABLE,
                 f"transfer starts at {plan.start} before the sender copy is "
-                f"available at {sender_copy.available_from}"
+                f"available at {sender_copy.available_from}",
             )
         if plan.end > sender_copy.release:
-            raise InfeasibleTransferError(
+            self._reject_booking(
+                plan.item_id,
+                link.link_id,
+                REASON_SENDER_RELEASED,
                 f"transfer ends at {plan.end} after the sender copy is "
-                f"released at {sender_copy.release}"
+                f"released at {sender_copy.release}",
             )
         busy_interval = Interval(plan.start, plan.end)
         if not self._busy[link.link_id].is_free(busy_interval):
-            raise InfeasibleTransferError(
-                f"link {link.link_id} is busy during {busy_interval!r}"
+            self._reject_booking(
+                plan.item_id,
+                link.link_id,
+                REASON_LINK_BUSY,
+                f"link {link.link_id} is busy during {busy_interval!r}",
             )
         if not link.window.contains_interval(busy_interval):
-            raise InfeasibleTransferError(
+            self._reject_booking(
+                plan.item_id,
+                link.link_id,
+                REASON_WINDOW_ESCAPE,
                 f"transfer {busy_interval!r} escapes link window "
-                f"{link.window!r}"
+                f"{link.window!r}",
             )
         if plan.end > self._link_cutoff[link.link_id]:
-            raise InfeasibleTransferError(
+            self._reject_booking(
+                plan.item_id,
+                link.link_id,
+                REASON_LINK_CUTOFF,
                 f"transfer completes at {plan.end} after link "
                 f"{link.link_id}'s outage cutoff "
-                f"{self._link_cutoff[link.link_id]}"
+                f"{self._link_cutoff[link.link_id]}",
             )
         residency = Interval(plan.start, plan.release)
         timeline = self._timelines[link.destination]
         if not timeline.can_reserve(item.size, residency):
-            raise InfeasibleTransferError(
+            self._reject_booking(
+                plan.item_id,
+                link.link_id,
+                REASON_STORAGE_CONFLICT,
                 f"machine {link.destination} lacks {item.size} bytes over "
-                f"{residency!r}"
+                f"{residency!r}",
             )
         # All checks passed; mutate.
         self._busy[link.link_id].add(busy_interval)
@@ -441,6 +523,14 @@ class NetworkState:
             end=plan.end,
         )
         satisfied = self._record_deliveries(plan.item_id, copy)
+        if self._tracer.enabled:
+            self._tracer.on_transfer_booked(
+                plan.item_id,
+                link.link_id,
+                plan.start,
+                plan.end,
+                link.window.end - link.window.start,
+            )
         return BookingResult(
             step_id=step.step_id,
             copy=copy,
@@ -473,6 +563,8 @@ class NetworkState:
             )
         self._link_cutoff[link_id] = at_time
         self._link_revision[link_id] += 1
+        if self._tracer.enabled:
+            self._tracer.on_link_disabled(link_id, at_time)
 
     def remove_copy(self, item_id: int, machine: int, at_time: float) -> None:
         """Delete a resident copy at ``at_time`` (a dynamic loss event).
@@ -508,6 +600,8 @@ class NetworkState:
         del self._copies[item_id][machine]
         self._machine_revision[machine] += 1
         self._item_revision[item_id] += 1
+        if self._tracer.enabled:
+            self._tracer.on_copy_removed(item_id, machine, at_time)
 
     def reopen_request(self, request_id: int) -> None:
         """Mark a previously satisfied request as unsatisfied again.
@@ -527,6 +621,8 @@ class NetworkState:
         self._schedule.remove_delivery(request_id)
         request = self._scenario.request(request_id)
         self._item_revision[request.item_id] += 1
+        if self._tracer.enabled:
+            self._tracer.on_request_reopened(request_id)
 
     def _record_deliveries(
         self, item_id: int, copy: CopyRecord

@@ -41,6 +41,12 @@ from repro.cost.criteria import CostCriterion, get_criterion
 from repro.cost.weights import EUWeights, as_weights
 from repro.errors import ConfigurationError
 from repro.experiments.runner import RunRecord, run_pair, run_scheduler
+from repro.observability.metrics import (
+    MetricsCollector,
+    RunMetrics,
+    merge_metrics,
+)
+from repro.observability.tracer import TeeTracer, current_tracer, use_tracer
 from repro.serialization import (
     run_record_from_dict,
     run_record_to_dict,
@@ -52,7 +58,8 @@ from repro.serialization import (
 logger = logging.getLogger(__name__)
 
 #: Version stamp of the cache entry layout; bump to invalidate old caches.
-CACHE_FORMAT_VERSION = 1
+#: Version 2: cached records may carry an embedded ``metrics`` aggregate.
+CACHE_FORMAT_VERSION = 2
 
 #: The cell kinds an executor knows how to run.
 CELL_KINDS = ("pair", "tier")
@@ -99,8 +106,8 @@ class SweepCell:
         return self.criterion
 
 
-def _run_cell(cell: SweepCell) -> RunRecord:
-    """Execute one cell in-process (the exact serial code path)."""
+def _dispatch_cell(cell: SweepCell) -> RunRecord:
+    """Run one cell's scheduler (the exact serial code path)."""
     if cell.kind == "tier":
         from repro.baselines.priority_tier import PriorityTierScheduler
 
@@ -113,8 +120,30 @@ def _run_cell(cell: SweepCell) -> RunRecord:
     return run_pair(cell.scenario, cell.heuristic, cell.criterion, cell.weights)
 
 
+def _run_cell(cell: SweepCell, collect_metrics: bool = False) -> RunRecord:
+    """Execute one cell in-process, optionally under a metrics collector.
+
+    With ``collect_metrics`` the cell runs inside an ambient
+    :class:`~repro.observability.metrics.MetricsCollector` and the
+    finalized aggregate rides back on the record (it crosses process
+    boundaries as part of the record's serialization dict).
+    """
+    if not collect_metrics:
+        return _dispatch_cell(cell)
+    collector = MetricsCollector()
+    ambient = current_tracer()
+    # Keep an already-installed tracer (e.g. a --trace-out stream) in the
+    # loop instead of shadowing it for the cell's duration.
+    tracer: Any = (
+        TeeTracer((collector, ambient)) if ambient.enabled else collector
+    )
+    with use_tracer(tracer):
+        record = _dispatch_cell(cell)
+    return dataclasses.replace(record, metrics=collector.finalize())
+
+
 def _execute_payload(
-    payload: Tuple[int, Dict[str, Any], str, str, float, float, str],
+    payload: Tuple[int, Dict[str, Any], str, str, float, float, str, bool],
 ) -> Tuple[int, Dict[str, Any]]:
     """Worker-side execution of one serialized cell.
 
@@ -122,9 +151,16 @@ def _execute_payload(
     (guaranteed picklable; the test suite pins that a round-tripped
     scenario schedules identically), and the record returns the same way.
     """
-    index, scenario_doc, heuristic, criterion, effective, urgency, kind = (
-        payload
-    )
+    (
+        index,
+        scenario_doc,
+        heuristic,
+        criterion,
+        effective,
+        urgency,
+        kind,
+        collect_metrics,
+    ) = payload
     cell = SweepCell(
         scenario=scenario_from_dict(scenario_doc),
         heuristic=heuristic,
@@ -132,7 +168,7 @@ def _execute_payload(
         weights=EUWeights(effective=effective, urgency=urgency),
         kind=kind,
     )
-    return index, run_record_to_dict(_run_cell(cell))
+    return index, run_record_to_dict(_run_cell(cell, collect_metrics))
 
 
 @dataclass(frozen=True)
@@ -193,9 +229,17 @@ class RunCache:
 
     One JSON file per cell under ``directory``, named by the SHA-256 of
     the cell's identity: scenario fingerprint + heuristic + criterion +
-    E-U label + cell kind (+ the cache format version).  Timing is not
-    part of the identity, so a warm cache replays records regardless of
-    how long the original runs took.
+    E-U label + cell kind (+ the cache format version).  Timing and
+    collected metrics are not part of the identity, so a warm cache
+    replays records regardless of how long the original runs took or
+    whether they were observed; a replayed record's embedded metrics
+    (when present) describe the original run.
+
+    The scenario fingerprint covers *all* scenario content — including
+    the garbage-collection delay γ and the scheduling horizon — so
+    perturbing either invalidates every affected entry.  Dynamic-only
+    state (link outages, copy losses) never enters a
+    :class:`SweepCell` and is therefore out of scope for this cache.
 
     Args:
         directory: cache root; created on first use.
@@ -300,15 +344,26 @@ class SweepExecutor:
             reused across calls until :meth:`close`.
         cache_dir: optional run-cache directory; ``None`` disables
             caching entirely.
+        metrics: collect per-cell scheduler metrics.  Each computed cell
+            runs under a
+            :class:`~repro.observability.metrics.MetricsCollector`; the
+            per-run aggregates ride back on the records, accumulate into
+            :attr:`metrics_by_scheduler`, and merge into
+            :meth:`metrics_total`.  Collection never changes scheduling
+            results (pinned by a property test).
 
     The executor is also a context manager (``with SweepExecutor(...)``),
-    closing its worker pool on exit.
+    closing its worker pool on exit.  If a worker raises mid-run, the
+    pool is torn down (pending cells cancelled) before the exception
+    propagates, so a broken pool is never reused and no worker processes
+    leak from executors used without a ``with`` block.
     """
 
     def __init__(
         self,
         workers: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
+        metrics: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(
@@ -318,6 +373,10 @@ class SweepExecutor:
         self.cache = RunCache(cache_dir) if cache_dir is not None else None
         self.stats = ExecutorStats()
         self.last_summary: Optional[SweepSummary] = None
+        self.metrics = bool(metrics)
+        #: Merged per-run aggregates keyed by scheduler label.
+        self.metrics_by_scheduler: Dict[str, RunMetrics] = {}
+        self._collector = MetricsCollector() if self.metrics else None
         self._pool: Optional[ProcessPoolExecutor] = None
 
     def __enter__(self) -> "SweepExecutor":
@@ -330,9 +389,24 @@ class SweepExecutor:
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
+        self._shutdown_pool()
+
+    def _shutdown_pool(self, cancel: bool = False) -> None:
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(wait=True, cancel_futures=cancel)
             self._pool = None
+
+    def metrics_total(self) -> RunMetrics:
+        """Every observed aggregate merged: all schedulers + executor events.
+
+        Includes the executor's own cell accounting (cell counts and
+        run-cache hit/miss tallies), which is collected even for cells
+        replayed from the cache.
+        """
+        total = merge_metrics(self.metrics_by_scheduler.values())
+        if self._collector is not None:
+            total = total.merged(self._collector.finalize())
+        return total
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -366,7 +440,9 @@ class SweepExecutor:
         if pending:
             if self.workers == 1 or len(pending) == 1:
                 for index in pending:
-                    records[index] = _run_cell(cells[index])
+                    records[index] = _run_cell(
+                        cells[index], collect_metrics=self.metrics
+                    )
             else:
                 payloads = [
                     (
@@ -377,19 +453,29 @@ class SweepExecutor:
                         cells[index].weights.effective,
                         cells[index].weights.urgency,
                         cells[index].kind,
+                        self.metrics,
                     )
                     for index in pending
                 ]
                 pool = self._ensure_pool()
-                for index, document in pool.map(
-                    _execute_payload, payloads
-                ):
-                    records[index] = run_record_from_dict(document)
+                try:
+                    for index, document in pool.map(
+                        _execute_payload, payloads
+                    ):
+                        records[index] = run_record_from_dict(document)
+                except BaseException:
+                    # A worker raised (or the pool broke): tear the pool
+                    # down — cancelling cells not yet started — so the
+                    # next call starts fresh and no processes leak even
+                    # without a ``with`` block.
+                    self._shutdown_pool(cancel=True)
+                    raise
             if self.cache is not None:
                 for index in pending:
                     self.cache.store(
                         keys[index], cells[index], records[index]
                     )
+        self._note_cell_metrics(records)
         wall = time.perf_counter() - started
         summary = SweepSummary(
             cells=len(cells),
@@ -413,6 +499,43 @@ class SweepExecutor:
             summary.speedup,
         )
         return records
+
+    def _note_cell_metrics(self, records: Sequence[RunRecord]) -> None:
+        """Fold finished records into the metric sinks.
+
+        Cell events go to both the ambient tracer (so ``--trace-out``
+        captures executor activity) and, when metrics collection is on,
+        the executor's own collector; per-run aggregates riding on the
+        records (including replayed cache entries, which report the
+        *original* run's work, exactly like their timing) merge into
+        :attr:`metrics_by_scheduler`.
+        """
+        tracer = current_tracer()
+        if not tracer.enabled and self._collector is None:
+            return
+        for index, record in enumerate(records):
+            if tracer.enabled:
+                tracer.on_cell(
+                    index,
+                    record.scheduler,
+                    record.cache_hit,
+                    record.elapsed_seconds,
+                )
+            if self._collector is None:
+                continue
+            self._collector.on_cell(
+                index,
+                record.scheduler,
+                record.cache_hit,
+                record.elapsed_seconds,
+            )
+            if record.metrics is not None:
+                existing = self.metrics_by_scheduler.get(record.scheduler)
+                self.metrics_by_scheduler[record.scheduler] = (
+                    record.metrics
+                    if existing is None
+                    else existing.merged(record.metrics)
+                )
 
     def run_pairs(
         self,

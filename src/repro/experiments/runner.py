@@ -19,6 +19,7 @@ from repro.cost.criteria import CostCriterion
 from repro.cost.weights import EUWeights, as_weights
 from repro.heuristics.base import HeuristicResult
 from repro.heuristics.registry import make_heuristic
+from repro.observability.metrics import RunMetrics
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,9 @@ class RunRecord:
         cache_hit: ``True`` when the record was replayed from the on-disk
             run cache instead of being computed; ``elapsed_seconds`` then
             reports the *original* run's timing, not this process's.
+        metrics: optional observability aggregate for the run; populated
+            only when metrics collection was requested, and — like
+            timing — excluded from result identity.
     """
 
     scenario: str
@@ -53,6 +57,7 @@ class RunRecord:
     elapsed_seconds: float
     average_hops: float
     cache_hit: bool = False
+    metrics: Optional[RunMetrics] = None
 
     @property
     def satisfied_count(self) -> int:
@@ -67,7 +72,7 @@ class RunRecord:
         parallel, computed versus cached — compare these copies.
         """
         return dataclasses.replace(
-            self, elapsed_seconds=0.0, cache_hit=False
+            self, elapsed_seconds=0.0, cache_hit=False, metrics=None
         )
 
 
@@ -76,6 +81,7 @@ def record_result(
     result: HeuristicResult,
     scheduler: str,
     eu_label: str = "-",
+    metrics: Optional[RunMetrics] = None,
 ) -> RunRecord:
     """Convert a finished :class:`HeuristicResult` into a record."""
     effect = evaluate_schedule(scenario, result.schedule)
@@ -90,6 +96,7 @@ def record_result(
         dijkstra_runs=result.stats.dijkstra_runs,
         elapsed_seconds=result.stats.elapsed_seconds,
         average_hops=result.schedule.average_hops_per_delivery(),
+        metrics=metrics,
     )
 
 

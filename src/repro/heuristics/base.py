@@ -126,10 +126,15 @@ class TreeCache:
         item is finalized — labels for other machines are never consulted
         (candidate enumeration and footprints only walk destination paths).
         """
+        tracer = self._state.tracer
         cached = self._trees.get(item_id) if self._enabled else None
         if cached is not None and self._is_valid(item_id, cached):
             self._stats.cache_hits += 1
+            if tracer.enabled:
+                tracer.on_tree_cache(item_id, True)
             return cached
+        if tracer.enabled:
+            tracer.on_tree_cache(item_id, False)
         targets = {
             request.destination
             for request in self._state.unsatisfied_requests_for_item(item_id)
@@ -233,6 +238,9 @@ class StagingHeuristic(abc.ABC):
         cache = TreeCache(state, stats, enabled=self._use_tree_cache)
         self.drain(state, cache, stats)
         stats.elapsed_seconds = time.perf_counter() - started
+        tracer = state.tracer
+        if tracer.enabled:
+            tracer.on_run_end(self.label(), stats.elapsed_seconds)
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "%s on %s: %d iterations, %d hops, %d Dijkstra runs "
@@ -263,7 +271,10 @@ class StagingHeuristic(abc.ABC):
         unrevealed requests through ``request_filter``.
         """
         debug = logger.isEnabledFor(logging.DEBUG)
+        tracer = state.tracer
+        tracing = tracer.enabled
         while True:
+            decision_started = time.perf_counter() if tracing else 0.0
             choice = self._best_choice(state, cache, priorities, request_filter)
             if choice is None:
                 break
@@ -271,6 +282,14 @@ class StagingHeuristic(abc.ABC):
             stats.iterations += 1
             hops = self._execute(state, cache, group, result)
             stats.hops_booked += hops
+            if tracing:
+                tracer.on_decision(
+                    group.item_id,
+                    group.next_machine,
+                    result.cost,
+                    hops,
+                    time.perf_counter() - decision_started,
+                )
             if debug:
                 logger.debug(
                     "iteration %d: item %d via M[%d]->M[%d] "
@@ -336,6 +355,9 @@ class StagingHeuristic(abc.ABC):
     ) -> Optional[Tuple[tuple, CandidateGroup, CostResult]]:
         """The item's cheapest candidate group under the criterion."""
         scenario = state.scenario
+        tracer = state.tracer
+        tracing = tracer.enabled
+        candidates = 0
         best: Optional[Tuple[tuple, CandidateGroup, CostResult]] = None
         for group in enumerate_groups(
             state,
@@ -345,12 +367,16 @@ class StagingHeuristic(abc.ABC):
             priorities,
             request_filter,
         ):
+            if tracing:
+                candidates += 1
             result = self._criterion.evaluate(group.evaluations, self._weights)
             if result.selected is None:
                 continue
             key = (result.cost,) + group.tie_break_key()
             if best is None or key < best[0]:
                 best = (key, group, result)
+        if tracing:
+            tracer.on_item_scored(item_id, candidates)
         return best
 
     def _book_hop(self, state: NetworkState, item_id: int, hop: Hop) -> None:

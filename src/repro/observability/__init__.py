@@ -1,0 +1,68 @@
+"""Lightweight, zero-dependency tracing and metrics for the scheduler core.
+
+The subsystem has three layers:
+
+* :mod:`repro.observability.tracer` — the :class:`Tracer` hook protocol the
+  scheduler core calls into.  The default :class:`NullTracer` keeps every
+  hot path allocation-free (one ``tracer.enabled`` branch per event site);
+  :class:`RecordingTracer` materializes events in memory,
+  :class:`JsonlTracer` streams them to disk, and :class:`TeeTracer` fans
+  one event stream out to several sinks.
+* :mod:`repro.observability.metrics` — :class:`MetricsCollector`, a tracer
+  that aggregates events into counters/timings, and the serializable
+  :class:`RunMetrics` aggregate it produces.
+* :mod:`repro.observability.report` — plain-text rendering of per-scheduler
+  summaries and link-utilization tables from collected metrics.
+
+Tracing is ambient: ``with use_tracer(t): ...`` installs a tracer for the
+current process; :class:`~repro.core.state.NetworkState` captures the
+ambient tracer at construction, so every run started inside the block is
+observed.  Tracers only observe — enabling one never changes scheduling
+decisions (pinned by a property test).
+"""
+
+from repro.observability.metrics import (
+    METRICS_SCHEMA_VERSION,
+    MetricsCollector,
+    RunMetrics,
+    TimingStat,
+    merge_metrics,
+    validate_metrics_document,
+)
+from repro.observability.report import (
+    render_link_utilization,
+    render_run_metrics,
+    render_scheduler_summaries,
+)
+from repro.observability.tracer import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    TeeTracer,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "MetricsCollector",
+    "RunMetrics",
+    "TimingStat",
+    "merge_metrics",
+    "validate_metrics_document",
+    "render_link_utilization",
+    "render_run_metrics",
+    "render_scheduler_summaries",
+    "NULL_TRACER",
+    "JsonlTracer",
+    "NullTracer",
+    "RecordingTracer",
+    "TeeTracer",
+    "TraceEvent",
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
+]

@@ -1,0 +1,144 @@
+"""Plain-text rendering of collected scheduler metrics.
+
+Three renderers, all returning aligned ASCII tables (via the same
+:func:`~repro.experiments.tables.render_table` the figure output uses):
+
+* :func:`render_run_metrics` — one aggregate's counters, rejection
+  reasons, and timing summaries;
+* :func:`render_scheduler_summaries` — one row per scheduler label
+  (bookings, attempts, rejection rate, search effort, cache behavior);
+* :func:`render_link_utilization` — the busiest virtual links with their
+  mean per-run busy time and utilization fraction.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.observability.metrics import RunMetrics
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Delegate to the shared ASCII renderer (imported lazily).
+
+    The import happens at call time because :mod:`repro.experiments`
+    imports this package back for metrics collection; a module-level
+    import would be circular.
+    """
+    from repro.experiments.tables import render_table as render
+
+    return render(headers, rows, title=title)
+
+
+def _rate(part: int, whole: int) -> str:
+    if whole <= 0:
+        return "-"
+    return f"{100.0 * part / whole:.1f}%"
+
+
+def render_run_metrics(metrics: RunMetrics, title: str = "metrics") -> str:
+    """One aggregate's counters and timings as a two-column table."""
+    rows = [
+        [key, str(metrics.counter(key))]
+        for key in sorted(metrics.counters)
+    ]
+    for reason in sorted(metrics.rejection_reasons):
+        rows.append(
+            [f"reason:{reason}", str(metrics.rejection_reasons[reason])]
+        )
+    decision = metrics.decision_seconds
+    if decision.count:
+        rows.append(
+            ["decision_mean_ms", f"{decision.mean * 1000.0:.3f}"]
+        )
+        rows.append(["decision_max_ms", f"{decision.max * 1000.0:.3f}"])
+    cell = metrics.cell_seconds
+    if cell.count:
+        rows.append(["cell_mean_s", f"{cell.mean:.3f}"])
+        rows.append(["cell_max_s", f"{cell.max:.3f}"])
+    if metrics.workers:
+        rows.append(["workers", str(len(metrics.workers))])
+    return render_table(["metric", "value"], rows, title=title)
+
+
+def render_scheduler_summaries(
+    by_scheduler: Mapping[str, RunMetrics],
+    title: str = "per-scheduler metrics",
+) -> str:
+    """One summary row per scheduler label, sorted by label."""
+    rows = []
+    for label in sorted(by_scheduler):
+        metrics = by_scheduler[label]
+        attempts = metrics.counter("booking_attempts")
+        rejections = metrics.counter("booking_rejections")
+        hits = metrics.counter("tree_cache_hits")
+        misses = metrics.counter("tree_cache_misses")
+        rows.append(
+            [
+                label,
+                str(metrics.counter("runs")),
+                str(metrics.counter("bookings")),
+                str(attempts),
+                _rate(rejections, attempts),
+                str(metrics.counter("dijkstra_searches")),
+                str(metrics.counter("edge_relaxations")),
+                _rate(hits, hits + misses),
+                (
+                    f"{metrics.decision_seconds.mean * 1000.0:.3f}"
+                    if metrics.decision_seconds.count
+                    else "-"
+                ),
+            ]
+        )
+    return render_table(
+        [
+            "scheduler",
+            "runs",
+            "bookings",
+            "attempts",
+            "rejected",
+            "dijkstra",
+            "relax",
+            "tree-hit",
+            "decision-ms",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def render_link_utilization(
+    metrics: RunMetrics,
+    top: int = 10,
+    title: str = "busiest virtual links",
+) -> str:
+    """The ``top`` busiest links by total booked seconds.
+
+    Utilization is the link's mean booked fraction of its availability
+    window per observed run (busy seconds / runs / window seconds), so
+    values stay comparable when metrics from many runs were merged.
+    """
+    runs = max(metrics.counter("runs"), 1)
+    ranked = sorted(
+        metrics.link_busy_seconds.items(),
+        key=lambda pair: (-pair[1], pair[0]),
+    )[:top]
+    rows = []
+    for link_id, busy in ranked:
+        window = metrics.link_window_seconds.get(link_id, 0.0)
+        utilization = (
+            f"{busy / runs / window:.4f}" if window > 0.0 else "-"
+        )
+        rows.append(
+            [
+                f"L{link_id}",
+                str(metrics.link_transfer_counts.get(link_id, 0)),
+                f"{busy:.1f}",
+                utilization,
+            ]
+        )
+    return render_table(
+        ["link", "transfers", "busy-s", "mean-util"], rows, title=title
+    )

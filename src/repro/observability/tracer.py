@@ -1,0 +1,466 @@
+"""The tracer hook protocol and its built-in implementations.
+
+Event sites in the scheduler core guard every emission with
+``if tracer.enabled:`` so the disabled path costs one attribute load and
+one branch — no event objects are ever allocated unless a real tracer is
+installed.  Hooks are named methods (not a generic ``emit(event)``) so a
+:class:`~repro.observability.metrics.MetricsCollector` can aggregate by
+bumping plain integers without building dictionaries on the hot path.
+
+Event taxonomy (one hook per event kind; see ``docs/OBSERVABILITY.md``):
+
+====================  =====================================================
+hook                  emitted by
+====================  =====================================================
+on_transfer_attempt   ``NetworkState.earliest_transfer`` entry
+on_transfer_rejected  ``earliest_transfer`` infeasible exit (reason code)
+on_transfer_booked    ``NetworkState.book_transfer`` success
+on_booking_failed     ``book_transfer`` raising (reason code)
+on_copy_removed       ``NetworkState.remove_copy``
+on_request_reopened   ``NetworkState.reopen_request``
+on_link_disabled      ``NetworkState.disable_link_from``
+on_dijkstra           one shortest-path-tree computation
+on_tree_cache         ``TreeCache.entry_for`` (hit or miss)
+on_item_scored        candidate enumeration for one item
+on_decision           one scheduled outer-loop choice (with timing)
+on_run_end            one finished heuristic run
+on_cell               one executor grid cell (run-cache hit or computed)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+# -- reason codes -----------------------------------------------------------
+
+#: ``earliest_transfer``: the receiver already holds a copy.
+REASON_ALREADY_AT_DESTINATION = "already_at_destination"
+#: ``earliest_transfer``: window/residency/cutoff leave no room at all.
+REASON_WINDOW_CLOSED = "window_closed"
+#: ``earliest_transfer``: the link has no idle slot long enough.
+REASON_NO_LINK_SLOT = "no_link_slot"
+#: ``earliest_transfer``: receiver storage can never cover the residency.
+REASON_NO_STORAGE = "no_storage"
+#: ``book_transfer``: the sender holds no copy of the item.
+REASON_NO_SENDER_COPY = "no_sender_copy"
+#: ``book_transfer``: the transfer starts before the sender copy exists.
+REASON_SENDER_NOT_AVAILABLE = "sender_not_available"
+#: ``book_transfer``: the transfer outlives the sender copy's residency.
+REASON_SENDER_RELEASED = "sender_released"
+#: ``book_transfer``: the link already carries a transfer in the interval.
+REASON_LINK_BUSY = "link_busy"
+#: ``book_transfer``: the transfer escapes the link's availability window.
+REASON_WINDOW_ESCAPE = "window_escape"
+#: ``book_transfer``: the transfer completes after a dynamic outage cutoff.
+REASON_LINK_CUTOFF = "link_cutoff"
+#: ``book_transfer``: receiver storage cannot cover the copy's residency.
+REASON_STORAGE_CONFLICT = "storage_conflict"
+
+#: All reason codes a rejection/failure event may carry.
+REASON_CODES: Tuple[str, ...] = (
+    REASON_ALREADY_AT_DESTINATION,
+    REASON_WINDOW_CLOSED,
+    REASON_NO_LINK_SLOT,
+    REASON_NO_STORAGE,
+    REASON_NO_SENDER_COPY,
+    REASON_SENDER_NOT_AVAILABLE,
+    REASON_SENDER_RELEASED,
+    REASON_LINK_BUSY,
+    REASON_WINDOW_ESCAPE,
+    REASON_LINK_CUTOFF,
+    REASON_STORAGE_CONFLICT,
+)
+
+
+class Tracer:
+    """Base tracer: enabled, every hook a no-op.
+
+    Subclass and override the hooks you care about.  ``enabled`` is read
+    on the hot path before any hook is called; a subclass that sets it to
+    ``False`` receives no events at all.
+    """
+
+    #: Event sites skip emission entirely when this is ``False``.
+    enabled: bool = True
+
+    # -- booking ----------------------------------------------------------
+
+    def on_transfer_attempt(self, item_id: int, link_id: int) -> None:
+        """A feasibility search started on one (item, virtual link) pair."""
+
+    def on_transfer_rejected(
+        self, item_id: int, link_id: int, reason: str
+    ) -> None:
+        """A feasibility search found no feasible start (reason code)."""
+
+    def on_transfer_booked(
+        self,
+        item_id: int,
+        link_id: int,
+        start: float,
+        end: float,
+        window_seconds: float,
+    ) -> None:
+        """A transfer was booked onto a virtual link."""
+
+    def on_booking_failed(
+        self, item_id: int, link_id: int, reason: str
+    ) -> None:
+        """``book_transfer`` rejected a stale plan (reason code)."""
+
+    # -- state surgery ----------------------------------------------------
+
+    def on_copy_removed(
+        self, item_id: int, machine: int, at_time: float
+    ) -> None:
+        """A resident copy was removed (dynamic loss / GC release)."""
+
+    def on_request_reopened(self, request_id: int) -> None:
+        """A previously satisfied request became unsatisfied again."""
+
+    def on_link_disabled(self, link_id: int, at_time: float) -> None:
+        """A virtual link received a dynamic outage cutoff."""
+
+    # -- routing ----------------------------------------------------------
+
+    def on_dijkstra(
+        self,
+        item_id: int,
+        relaxations: int,
+        pruned: int,
+        finalized: int,
+        seeds: int,
+    ) -> None:
+        """One adapted-Dijkstra search finished (with search effort)."""
+
+    # -- engine -----------------------------------------------------------
+
+    def on_tree_cache(self, item_id: int, hit: bool) -> None:
+        """The tree cache answered a request (hit or recompute)."""
+
+    def on_item_scored(self, item_id: int, candidates: int) -> None:
+        """An item's candidate groups were enumerated and priced."""
+
+    def on_decision(
+        self,
+        item_id: int,
+        next_machine: int,
+        cost: float,
+        hops: int,
+        elapsed_seconds: float,
+    ) -> None:
+        """One outer-loop decision was taken (choose + execute timing)."""
+
+    def on_run_end(self, label: str, elapsed_seconds: float) -> None:
+        """One heuristic run completed."""
+
+    # -- executor ---------------------------------------------------------
+
+    def on_cell(
+        self,
+        index: int,
+        scheduler: str,
+        cache_hit: bool,
+        elapsed_seconds: float,
+    ) -> None:
+        """One sweep grid cell was resolved (computed or replayed)."""
+
+
+def _inherit_hook_docs(cls: type) -> type:
+    """Copy hook docstrings from :class:`Tracer` onto bare overrides.
+
+    Hook semantics are defined once on the base protocol; implementations
+    stay docstring-free without losing introspectable documentation.
+    """
+    for name, attr in vars(cls).items():
+        if name.startswith("on_") and attr.__doc__ is None:
+            base = getattr(Tracer, name, None)
+            if base is not None:
+                attr.__doc__ = base.__doc__
+    return cls
+
+
+class NullTracer(Tracer):
+    """The default disabled tracer — every event site short-circuits."""
+
+    enabled = False
+
+
+#: Shared disabled tracer; ambient default for every process.
+NULL_TRACER = NullTracer()
+
+_current: List[Tracer] = [NULL_TRACER]
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer of this process (``NULL_TRACER`` by default)."""
+    return _current[-1]
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer for the ``with`` block.
+
+    Nesting is supported (the previous tracer is restored on exit).  The
+    ambient tracer is captured by :class:`~repro.core.state.NetworkState`
+    at construction, so runs started inside the block are observed even
+    when they outlive it.
+    """
+    _current.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _current.pop()
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One materialized event: a name plus its payload fields."""
+
+    name: str
+    fields: Tuple[Tuple[str, Any], ...]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The event as a JSON-ready dict (``event`` key first)."""
+        document: Dict[str, Any] = {"event": self.name}
+        document.update(self.fields)
+        return document
+
+    def __getitem__(self, key: str) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+
+@_inherit_hook_docs
+class RecordingTracer(Tracer):
+    """Materializes every event as a :class:`TraceEvent` in memory.
+
+    Intended for tests and interactive inspection; for long runs prefer
+    :class:`JsonlTracer` (bounded memory) or
+    :class:`~repro.observability.metrics.MetricsCollector` (aggregates).
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def _event(self, name: str, **fields: Any) -> None:
+        self.events.append(TraceEvent(name=name, fields=tuple(fields.items())))
+
+    def named(self, name: str) -> List[TraceEvent]:
+        """All recorded events of one kind, in emission order."""
+        return [event for event in self.events if event.name == name]
+
+    # Hook implementations -------------------------------------------------
+
+    def on_transfer_attempt(self, item_id: int, link_id: int) -> None:
+        self._event("transfer_attempt", item_id=item_id, link_id=link_id)
+
+    def on_transfer_rejected(
+        self, item_id: int, link_id: int, reason: str
+    ) -> None:
+        self._event(
+            "transfer_rejected",
+            item_id=item_id,
+            link_id=link_id,
+            reason=reason,
+        )
+
+    def on_transfer_booked(
+        self,
+        item_id: int,
+        link_id: int,
+        start: float,
+        end: float,
+        window_seconds: float,
+    ) -> None:
+        self._event(
+            "transfer_booked",
+            item_id=item_id,
+            link_id=link_id,
+            start=start,
+            end=end,
+            window_seconds=window_seconds,
+        )
+
+    def on_booking_failed(
+        self, item_id: int, link_id: int, reason: str
+    ) -> None:
+        self._event(
+            "booking_failed", item_id=item_id, link_id=link_id, reason=reason
+        )
+
+    def on_copy_removed(
+        self, item_id: int, machine: int, at_time: float
+    ) -> None:
+        self._event(
+            "copy_removed", item_id=item_id, machine=machine, at_time=at_time
+        )
+
+    def on_request_reopened(self, request_id: int) -> None:
+        self._event("request_reopened", request_id=request_id)
+
+    def on_link_disabled(self, link_id: int, at_time: float) -> None:
+        self._event("link_disabled", link_id=link_id, at_time=at_time)
+
+    def on_dijkstra(
+        self,
+        item_id: int,
+        relaxations: int,
+        pruned: int,
+        finalized: int,
+        seeds: int,
+    ) -> None:
+        self._event(
+            "dijkstra",
+            item_id=item_id,
+            relaxations=relaxations,
+            pruned=pruned,
+            finalized=finalized,
+            seeds=seeds,
+        )
+
+    def on_tree_cache(self, item_id: int, hit: bool) -> None:
+        self._event("tree_cache", item_id=item_id, hit=hit)
+
+    def on_item_scored(self, item_id: int, candidates: int) -> None:
+        self._event("item_scored", item_id=item_id, candidates=candidates)
+
+    def on_decision(
+        self,
+        item_id: int,
+        next_machine: int,
+        cost: float,
+        hops: int,
+        elapsed_seconds: float,
+    ) -> None:
+        self._event(
+            "decision",
+            item_id=item_id,
+            next_machine=next_machine,
+            cost=cost,
+            hops=hops,
+            elapsed_seconds=elapsed_seconds,
+        )
+
+    def on_run_end(self, label: str, elapsed_seconds: float) -> None:
+        self._event("run_end", label=label, elapsed_seconds=elapsed_seconds)
+
+    def on_cell(
+        self,
+        index: int,
+        scheduler: str,
+        cache_hit: bool,
+        elapsed_seconds: float,
+    ) -> None:
+        self._event(
+            "cell",
+            index=index,
+            scheduler=scheduler,
+            cache_hit=cache_hit,
+            elapsed_seconds=elapsed_seconds,
+        )
+
+
+class JsonlTracer(RecordingTracer):
+    """Streams events to a JSON-lines file instead of keeping them.
+
+    One compact JSON object per line, ``{"event": <name>, ...fields}``.
+    The tracer is also a context manager; use :meth:`close` (or the
+    ``with`` block) to flush and release the file handle.
+    """
+
+    def __init__(self, path: Union[str, Path, IO[str]]) -> None:
+        super().__init__()
+        if hasattr(path, "write"):
+            self._stream: IO[str] = path  # type: ignore[assignment]
+            self._owns_stream = False
+        else:
+            self._stream = Path(path).open("w", encoding="utf-8")
+            self._owns_stream = True
+
+    def _event(self, name: str, **fields: Any) -> None:
+        document: Dict[str, Any] = {"event": name}
+        document.update(fields)
+        self._stream.write(
+            json.dumps(document, separators=(",", ":")) + "\n"
+        )
+
+    def close(self) -> None:
+        """Flush buffered lines and close an owned file handle."""
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+@_inherit_hook_docs
+@dataclass
+class TeeTracer(Tracer):
+    """Fans every event out to several child tracers.
+
+    Disabled children are skipped; the tee itself reports ``enabled``
+    as "any child enabled" so event sites short-circuit when all
+    children are off.
+    """
+
+    children: Sequence[Tracer] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.children = tuple(self.children)
+        self.enabled = any(child.enabled for child in self.children)
+
+    def _fan_out(self, method: str, *args: Any) -> None:
+        for child in self.children:
+            if child.enabled:
+                getattr(child, method)(*args)
+
+    def on_transfer_attempt(self, *args: Any) -> None:
+        self._fan_out("on_transfer_attempt", *args)
+
+    def on_transfer_rejected(self, *args: Any) -> None:
+        self._fan_out("on_transfer_rejected", *args)
+
+    def on_transfer_booked(self, *args: Any) -> None:
+        self._fan_out("on_transfer_booked", *args)
+
+    def on_booking_failed(self, *args: Any) -> None:
+        self._fan_out("on_booking_failed", *args)
+
+    def on_copy_removed(self, *args: Any) -> None:
+        self._fan_out("on_copy_removed", *args)
+
+    def on_request_reopened(self, *args: Any) -> None:
+        self._fan_out("on_request_reopened", *args)
+
+    def on_link_disabled(self, *args: Any) -> None:
+        self._fan_out("on_link_disabled", *args)
+
+    def on_dijkstra(self, *args: Any) -> None:
+        self._fan_out("on_dijkstra", *args)
+
+    def on_tree_cache(self, *args: Any) -> None:
+        self._fan_out("on_tree_cache", *args)
+
+    def on_item_scored(self, *args: Any) -> None:
+        self._fan_out("on_item_scored", *args)
+
+    def on_decision(self, *args: Any) -> None:
+        self._fan_out("on_decision", *args)
+
+    def on_run_end(self, *args: Any) -> None:
+        self._fan_out("on_run_end", *args)
+
+    def on_cell(self, *args: Any) -> None:
+        self._fan_out("on_cell", *args)

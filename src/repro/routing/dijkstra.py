@@ -64,6 +64,10 @@ def compute_shortest_path_tree(
     parents: Dict[int, Tuple[int, int, float, float]] = {}
     finalized: Set[int] = set()
     pending_targets = set(targets) if targets is not None else None
+    tracer = state.tracer
+    tracing = tracer.enabled
+    relaxations = 0
+    pruned = 0
 
     heap = [(available, machine) for machine, available in seeds.items()]
     heapq.heapify(heap)
@@ -91,7 +95,11 @@ def compute_shortest_path_tree(
             duration = item_size / link.bandwidth + link.latency
             start_floor = link.start if link.start > label else label
             if start_floor + duration >= labels.get(receiver, float("inf")):
+                if tracing:
+                    pruned += 1
                 continue
+            if tracing:
+                relaxations += 1
             plan = state.earliest_transfer(item_id, link, label, duration)
             if plan is None:
                 continue
@@ -118,6 +126,10 @@ def compute_shortest_path_tree(
             for machine, parent in parents.items()
             if machine in finalized
         }
+    if tracing:
+        tracer.on_dijkstra(
+            item_id, relaxations, pruned, len(finalized), len(seeds)
+        )
     return make_tree(
         item_id=item_id, seeds=seeds, labels=labels, parents=parents
     )

@@ -25,6 +25,12 @@ from repro.core.request import Request
 from repro.core.scenario import Scenario
 from repro.core.schedule import Schedule
 from repro.errors import ModelError
+from repro.observability.metrics import (
+    METRICS_SCHEMA_VERSION,
+    RunMetrics,
+    TimingStat,
+    validate_metrics_document,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports
     # the core model; experiments modules import this module back)
@@ -254,6 +260,11 @@ def run_record_to_dict(record: "RunRecord") -> Dict[str, Any]:
         "elapsed_seconds": record.elapsed_seconds,
         "average_hops": record.average_hops,
         "cache_hit": record.cache_hit,
+        "metrics": (
+            run_metrics_to_dict(record.metrics)
+            if record.metrics is not None
+            else None
+        ),
     }
 
 
@@ -284,6 +295,82 @@ def run_record_from_dict(document: Dict[str, Any]) -> "RunRecord":
         elapsed_seconds=_require(document, "elapsed_seconds"),
         average_hops=_require(document, "average_hops"),
         cache_hit=bool(document.get("cache_hit", False)),
+        metrics=(
+            run_metrics_from_dict(document["metrics"])
+            if document.get("metrics") is not None
+            else None
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Run metrics
+# ---------------------------------------------------------------------------
+
+def run_metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
+    """A JSON-ready dict capturing one metrics aggregate.
+
+    Link maps are keyed by link id; JSON object keys must be strings, so
+    ids are stringified here and parsed back in
+    :func:`run_metrics_from_dict`.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "run_metrics",
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "counters": dict(metrics.counters),
+        "rejection_reasons": dict(metrics.rejection_reasons),
+        "link_busy_seconds": {
+            str(link_id): value
+            for link_id, value in metrics.link_busy_seconds.items()
+        },
+        "link_transfer_counts": {
+            str(link_id): value
+            for link_id, value in metrics.link_transfer_counts.items()
+        },
+        "link_window_seconds": {
+            str(link_id): value
+            for link_id, value in metrics.link_window_seconds.items()
+        },
+        "decision_seconds": metrics.decision_seconds.to_dict(),
+        "cell_seconds": metrics.cell_seconds.to_dict(),
+        "workers": list(metrics.workers),
+    }
+
+
+def run_metrics_from_dict(document: Dict[str, Any]) -> RunMetrics:
+    """Rebuild a metrics aggregate from :func:`run_metrics_to_dict` output.
+
+    Raises:
+        ModelError: on a wrong kind, schema version, or invalid structure
+            (delegates to
+            :func:`repro.observability.metrics.validate_metrics_document`).
+    """
+    validate_metrics_document(document)
+    return RunMetrics(
+        counters={
+            key: int(value)
+            for key, value in document["counters"].items()
+        },
+        rejection_reasons={
+            key: int(value)
+            for key, value in document["rejection_reasons"].items()
+        },
+        link_busy_seconds={
+            int(link_id): float(value)
+            for link_id, value in document["link_busy_seconds"].items()
+        },
+        link_transfer_counts={
+            int(link_id): int(value)
+            for link_id, value in document["link_transfer_counts"].items()
+        },
+        link_window_seconds={
+            int(link_id): float(value)
+            for link_id, value in document["link_window_seconds"].items()
+        },
+        decision_seconds=TimingStat.from_dict(document["decision_seconds"]),
+        cell_seconds=TimingStat.from_dict(document["cell_seconds"]),
+        workers=tuple(int(pid) for pid in document["workers"]),
     )
 
 

@@ -1,0 +1,101 @@
+"""Worker failure handling: no leaked pools, no swallowed exceptions.
+
+A cell that raises mid-``run_cells`` must propagate its exception, tear
+the process pool down (so nothing leaks from executors used without a
+``with`` block), and leave the executor reusable for later calls.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.executor import SweepCell, SweepExecutor
+from repro.cost.weights import as_weights
+
+
+def _cells(scenarios, heuristic="full_one"):
+    return [
+        SweepCell(
+            scenario=scenario,
+            heuristic=heuristic,
+            criterion="C4",
+            weights=as_weights(0.0),
+        )
+        for scenario in scenarios
+    ]
+
+
+def _failing_cells(scenarios):
+    # The heuristic name is resolved inside the worker, so an unknown
+    # name raises ConfigurationError mid-run — a deterministic stand-in
+    # for any cell whose scheduler blows up.
+    return _cells(scenarios, heuristic="does-not-exist")
+
+
+class TestSerialFailures:
+    def test_exception_propagates(self, tiny_scenarios):
+        executor = SweepExecutor(workers=1)
+        with pytest.raises(ConfigurationError):
+            executor.run_cells(_failing_cells(tiny_scenarios[:2]))
+
+    def test_executor_is_reusable_after_a_failure(self, tiny_scenarios):
+        executor = SweepExecutor(workers=1)
+        with pytest.raises(ConfigurationError):
+            executor.run_cells(_failing_cells(tiny_scenarios[:2]))
+        records = executor.run_cells(_cells(tiny_scenarios[:2]))
+        assert len(records) == 2
+
+
+class TestParallelFailures:
+    def test_exception_propagates_and_pool_is_torn_down(
+        self, tiny_scenarios
+    ):
+        executor = SweepExecutor(workers=2)
+        with pytest.raises(ConfigurationError):
+            executor.run_cells(_failing_cells(tiny_scenarios))
+        # The broken run must not leave a pool behind to be reused (or
+        # leaked by callers that never call close()).
+        assert executor._pool is None
+
+    def test_executor_computes_again_after_worker_failure(
+        self, tiny_scenarios
+    ):
+        executor = SweepExecutor(workers=2)
+        with pytest.raises(ConfigurationError):
+            executor.run_cells(_failing_cells(tiny_scenarios))
+        records = executor.run_cells(_cells(tiny_scenarios))
+        assert len(records) == len(tiny_scenarios)
+        assert all(record is not None for record in records)
+        executor.close()
+        assert executor._pool is None
+
+    def test_mixed_grid_fails_loudly_not_partially(self, tiny_scenarios):
+        # One bad cell among good ones: the call raises rather than
+        # returning a partial record list.
+        cells = _cells(tiny_scenarios)
+        cells[2] = dataclasses.replace(cells[2], heuristic="does-not-exist")
+        executor = SweepExecutor(workers=2)
+        with pytest.raises(ConfigurationError):
+            executor.run_cells(cells)
+        assert executor._pool is None
+        executor.close()
+
+    def test_with_block_survives_worker_failure(self, tiny_scenarios):
+        with SweepExecutor(workers=2) as executor:
+            with pytest.raises(ConfigurationError):
+                executor.run_cells(_failing_cells(tiny_scenarios))
+            records = executor.run_cells(_cells(tiny_scenarios[:2]))
+            assert len(records) == 2
+        assert executor._pool is None
+
+    def test_failure_does_not_poison_the_cache(self, tiny_scenarios, tmp_path):
+        with SweepExecutor(workers=2, cache_dir=tmp_path) as executor:
+            with pytest.raises(ConfigurationError):
+                executor.run_cells(_failing_cells(tiny_scenarios))
+            # Nothing was stored for the failed call...
+            records = executor.run_cells(_cells(tiny_scenarios))
+            assert not any(record.cache_hit for record in records)
+            # ...and the successful rerun populated it.
+            replayed = executor.run_cells(_cells(tiny_scenarios))
+            assert all(record.cache_hit for record in replayed)

@@ -155,6 +155,85 @@ class TestCacheKey:
         keys = {cache.key_for(cell) for cell in (base,) + variants}
         assert len(keys) == len(variants) + 1
 
+    def test_gc_delay_is_part_of_the_fingerprint(self, tiny_scenarios):
+        # γ changes copy residency and therefore schedules; a perturbed
+        # γ must never replay records computed under the original value.
+        cache = RunCache("unused-directory")
+        scenario = tiny_scenarios[0]
+        base = SweepCell(
+            scenario=scenario,
+            heuristic="full_one",
+            criterion="C4",
+            weights=as_weights(0.0),
+        )
+        for delta in (1.0, -1.0, 1e-9):
+            perturbed = dataclasses.replace(
+                base,
+                scenario=dataclasses.replace(
+                    scenario, gc_delay=scenario.gc_delay + delta
+                ),
+            )
+            assert cache.key_for(perturbed) != cache.key_for(base), delta
+
+    def test_horizon_is_part_of_the_fingerprint(self, tiny_scenarios):
+        cache = RunCache("unused-directory")
+        scenario = tiny_scenarios[0]
+        base = SweepCell(
+            scenario=scenario,
+            heuristic="full_one",
+            criterion="C4",
+            weights=as_weights(0.0),
+        )
+        shrunk = dataclasses.replace(
+            base,
+            scenario=dataclasses.replace(
+                scenario, horizon=scenario.horizon - 1.0
+            ),
+        )
+        assert cache.key_for(shrunk) != cache.key_for(base)
+
+    def test_link_windows_are_part_of_the_fingerprint(self, tiny_scenarios):
+        # Static availability windows model planned outages; trimming one
+        # physical link's window must invalidate the cell.
+        from repro.core.intervals import Interval
+        from repro.core.network import Network
+
+        cache = RunCache("unused-directory")
+        scenario = tiny_scenarios[0]
+        links = list(scenario.network.physical_links)
+        window = links[0].windows[0]
+        links[0] = dataclasses.replace(
+            links[0],
+            windows=(Interval(window.start, window.end - 1.0),)
+            + links[0].windows[1:],
+        )
+        trimmed = dataclasses.replace(
+            scenario,
+            network=Network(scenario.network.machines, tuple(links)),
+        )
+        base = SweepCell(
+            scenario=scenario,
+            heuristic="full_one",
+            criterion="C4",
+            weights=as_weights(0.0),
+        )
+        assert cache.key_for(
+            dataclasses.replace(base, scenario=trimmed)
+        ) != cache.key_for(base)
+
+    def test_gc_delay_perturbation_recomputes_through_the_executor(
+        self, tiny_scenarios, tmp_path
+    ):
+        scenario = tiny_scenarios[0]
+        with SweepExecutor(workers=1, cache_dir=tmp_path) as executor:
+            executor.run_pairs([scenario], "full_one", "C4", 0.0)
+            perturbed = dataclasses.replace(
+                scenario, gc_delay=scenario.gc_delay + 1e-9
+            )
+            records = executor.run_pairs([perturbed], "full_one", "C4", 0.0)
+            assert executor.last_summary.computed == 1
+            assert not records[0].cache_hit
+
     def test_eu_independent_weights_share_one_entry(self, tiny_scenarios):
         cache = RunCache("unused-directory")
         scenario = tiny_scenarios[0]

@@ -1,0 +1,84 @@
+"""Plain-text metric report rendering."""
+
+from repro.observability import (
+    MetricsCollector,
+    RunMetrics,
+    render_link_utilization,
+    render_run_metrics,
+    render_scheduler_summaries,
+    use_tracer,
+)
+from repro.heuristics.registry import make_heuristic
+
+
+def _collected(scenario):
+    collector = MetricsCollector()
+    with use_tracer(collector):
+        make_heuristic("full_one", "C4", 0.0).run(scenario)
+    return collector.finalize()
+
+
+class TestRenderRunMetrics:
+    def test_lists_counters_reasons_and_timings(self, tiny_scenarios):
+        metrics = _collected(tiny_scenarios[0])
+        text = render_run_metrics(metrics, title="unit test")
+        assert "unit test" in text
+        assert "bookings" in text
+        assert str(metrics.counter("bookings")) in text
+        assert any(
+            f"reason:{reason}" in text
+            for reason in metrics.rejection_reasons
+        )
+        assert "decision_mean_ms" in text
+        assert "workers" in text
+
+    def test_empty_metrics_render(self):
+        text = render_run_metrics(RunMetrics())
+        assert "metric" in text
+        assert "decision_mean_ms" not in text
+
+
+class TestRenderSchedulerSummaries:
+    def test_one_sorted_row_per_label(self, tiny_scenarios):
+        metrics = _collected(tiny_scenarios[0])
+        text = render_scheduler_summaries(
+            {"b/C4": metrics, "a/C4": metrics}
+        )
+        lines = text.splitlines()
+        a_row = next(i for i, line in enumerate(lines) if "a/C4" in line)
+        b_row = next(i for i, line in enumerate(lines) if "b/C4" in line)
+        assert a_row < b_row
+        assert "rejected" in text
+        assert "tree-hit" in text
+        assert "%" in text
+
+    def test_empty_counters_render_dashes(self):
+        text = render_scheduler_summaries({"x/C1": RunMetrics()})
+        assert "x/C1" in text
+        assert "-" in text
+
+
+class TestRenderLinkUtilization:
+    def test_ranks_busiest_links_and_caps_at_top(self, tiny_scenarios):
+        metrics = _collected(tiny_scenarios[0])
+        text = render_link_utilization(metrics, top=3)
+        data_rows = [
+            line
+            for line in text.splitlines()
+            if line.startswith("L")
+        ]
+        assert 1 <= len(data_rows) <= 3
+        busiest = max(
+            metrics.link_busy_seconds,
+            key=lambda link: metrics.link_busy_seconds[link],
+        )
+        assert data_rows[0].startswith(f"L{busiest}")
+
+    def test_zero_window_renders_a_dash(self):
+        metrics = RunMetrics()
+        metrics.bump("runs")
+        metrics.link_busy_seconds[5] = 10.0
+        metrics.link_transfer_counts[5] = 1
+        text = render_link_utilization(metrics)
+        assert "L5" in text
+        assert "-" in text

@@ -1,0 +1,57 @@
+"""Machine-readable performance benchmarking of the scheduler library.
+
+:mod:`repro.benchmarks.harness` runs a pinned
+scenario × heuristic × criterion matrix at a chosen experiment scale
+under the span profiler and emits a schema-versioned ``BENCH_*.json``
+document: per-phase :class:`~repro.observability.metrics.TimingStat`
+breakdowns, hotspot ranking, run-cache hit rates, and an environment
+fingerprint.  :mod:`repro.benchmarks.compare` diffs two such documents
+against configurable regression thresholds, for perf gating in CI and
+locally (``python -m repro.cli bench`` / ``bench compare``).
+"""
+
+from repro.benchmarks.compare import (
+    EXIT_FLAT,
+    EXIT_IMPROVED,
+    EXIT_REGRESSED,
+    VERDICT_FLAT,
+    VERDICT_IMPROVED,
+    VERDICT_REGRESSED,
+    Comparison,
+    PhaseDelta,
+    Thresholds,
+    compare_documents,
+    render_comparison,
+    verdict_exit_code,
+)
+from repro.benchmarks.harness import (
+    BENCH_SCHEMA_VERSION,
+    BenchMatrix,
+    environment_fingerprint,
+    load_bench_document,
+    render_bench,
+    run_bench,
+    validate_bench_document,
+)
+
+__all__ = [
+    "EXIT_FLAT",
+    "EXIT_IMPROVED",
+    "EXIT_REGRESSED",
+    "VERDICT_FLAT",
+    "VERDICT_IMPROVED",
+    "VERDICT_REGRESSED",
+    "Comparison",
+    "PhaseDelta",
+    "Thresholds",
+    "compare_documents",
+    "render_comparison",
+    "verdict_exit_code",
+    "BENCH_SCHEMA_VERSION",
+    "BenchMatrix",
+    "environment_fingerprint",
+    "load_bench_document",
+    "render_bench",
+    "run_bench",
+    "validate_bench_document",
+]

@@ -1,0 +1,251 @@
+"""Perf-regression gating: diff two bench documents phase by phase.
+
+:func:`compare_documents` walks every (scheduler entry, span path) pair
+present in a baseline and a candidate bench document, computes the
+candidate/baseline wall-time ratio, and classifies each phase — and the
+comparison as a whole — as ``REGRESSED``, ``IMPROVED``, or ``FLAT``
+against configurable :class:`Thresholds`.  The CLI maps the overall
+verdict onto distinct exit codes so shell pipelines and CI jobs can gate
+on it::
+
+    python -m repro.cli bench compare baseline.json candidate.json
+    # exit 0 = FLAT, 3 = IMPROVED, 4 = REGRESSED (2 = usage/IO error)
+
+Phases faster than the noise floor on both sides are always FLAT —
+micro-phase jitter must not fail a build — and entries or phases present
+on only one side are reported informationally but never affect the
+verdict (a new phase has no baseline to regress from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: Exit code for an overall FLAT comparison (also: no comparable data).
+EXIT_FLAT = 0
+#: Exit code for an overall IMPROVED comparison.
+EXIT_IMPROVED = 3
+#: Exit code for an overall REGRESSED comparison.
+EXIT_REGRESSED = 4
+
+VERDICT_FLAT = "FLAT"
+VERDICT_IMPROVED = "IMPROVED"
+VERDICT_REGRESSED = "REGRESSED"
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Classification thresholds for one comparison.
+
+    Attributes:
+        max_regression: a phase slower by more than this fraction is
+            REGRESSED (0.20 = +20%).
+        min_improvement: a phase faster by more than this fraction is
+            IMPROVED (0.20 = -20%).
+        noise_floor_seconds: phases under this wall time on *both* sides
+            are always FLAT — ratios of micro-timings are noise.
+    """
+
+    max_regression: float = 0.20
+    min_improvement: float = 0.20
+    noise_floor_seconds: float = 0.05
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """One compared (entry, phase) pair.
+
+    Attributes:
+        entry: the scheduler label (``"partial/C4"``), or ``"harness"``
+            for the harness-level profile.
+        path: the span path (``"tree/dijkstra"``) or ``"elapsed"`` for
+            the entry's total scheduled time.
+        baseline_seconds: baseline wall total.
+        candidate_seconds: candidate wall total.
+        ratio: ``candidate / baseline`` (``inf`` for a zero baseline).
+        verdict: VERDICT_FLAT / VERDICT_IMPROVED / VERDICT_REGRESSED.
+    """
+
+    entry: str
+    path: str
+    baseline_seconds: float
+    candidate_seconds: float
+    ratio: float
+    verdict: str
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The outcome of diffing two bench documents.
+
+    Attributes:
+        deltas: every compared (entry, phase) pair, document order.
+        only_baseline: (entry, path) pairs present only in the baseline.
+        only_candidate: (entry, path) pairs present only in the
+            candidate.
+        verdict: the overall verdict — REGRESSED if any phase regressed,
+            else IMPROVED if any phase improved, else FLAT.
+    """
+
+    deltas: Tuple[PhaseDelta, ...]
+    only_baseline: Tuple[Tuple[str, str], ...]
+    only_candidate: Tuple[Tuple[str, str], ...]
+    verdict: str
+
+    @property
+    def regressions(self) -> Tuple[PhaseDelta, ...]:
+        """The deltas classified REGRESSED."""
+        return tuple(
+            delta
+            for delta in self.deltas
+            if delta.verdict == VERDICT_REGRESSED
+        )
+
+    @property
+    def improvements(self) -> Tuple[PhaseDelta, ...]:
+        """The deltas classified IMPROVED."""
+        return tuple(
+            delta
+            for delta in self.deltas
+            if delta.verdict == VERDICT_IMPROVED
+        )
+
+
+def verdict_exit_code(verdict: str) -> int:
+    """The process exit code for an overall verdict."""
+    if verdict == VERDICT_REGRESSED:
+        return EXIT_REGRESSED
+    if verdict == VERDICT_IMPROVED:
+        return EXIT_IMPROVED
+    return EXIT_FLAT
+
+
+def _classify(
+    baseline: float, candidate: float, thresholds: Thresholds
+) -> Tuple[float, str]:
+    if (
+        baseline < thresholds.noise_floor_seconds
+        and candidate < thresholds.noise_floor_seconds
+    ):
+        ratio = candidate / baseline if baseline > 0.0 else float("inf")
+        return ratio, VERDICT_FLAT
+    if baseline <= 0.0:
+        return float("inf"), VERDICT_REGRESSED
+    ratio = candidate / baseline
+    if ratio > 1.0 + thresholds.max_regression:
+        return ratio, VERDICT_REGRESSED
+    if ratio < 1.0 - thresholds.min_improvement:
+        return ratio, VERDICT_IMPROVED
+    return ratio, VERDICT_FLAT
+
+
+def _phase_walls(document: Mapping[str, Any]) -> Dict[Tuple[str, str], float]:
+    """Flatten a bench document into ``(entry, path) -> wall total``."""
+    walls: Dict[Tuple[str, str], float] = {}
+    harness = document.get("harness")
+    if harness is not None:
+        for path, stat in harness.get("spans", {}).items():
+            walls[("harness", path)] = float(stat["wall"]["total"])
+    for scheduler, entry in document.get("entries", {}).items():
+        walls[(scheduler, "elapsed")] = float(entry["elapsed_seconds"])
+        profile = entry.get("profile")
+        if profile is None:
+            continue
+        for path, stat in profile.get("spans", {}).items():
+            walls[(scheduler, path)] = float(stat["wall"]["total"])
+    return walls
+
+
+def compare_documents(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    thresholds: Optional[Thresholds] = None,
+) -> Comparison:
+    """Diff two bench documents (both already schema-validated)."""
+    thresholds = thresholds if thresholds is not None else Thresholds()
+    baseline_walls = _phase_walls(baseline)
+    candidate_walls = _phase_walls(candidate)
+    deltas: List[PhaseDelta] = []
+    for key in sorted(set(baseline_walls) & set(candidate_walls)):
+        entry, path = key
+        base = baseline_walls[key]
+        cand = candidate_walls[key]
+        ratio, verdict = _classify(base, cand, thresholds)
+        deltas.append(
+            PhaseDelta(
+                entry=entry,
+                path=path,
+                baseline_seconds=base,
+                candidate_seconds=cand,
+                ratio=ratio,
+                verdict=verdict,
+            )
+        )
+    only_baseline = tuple(
+        sorted(set(baseline_walls) - set(candidate_walls))
+    )
+    only_candidate = tuple(
+        sorted(set(candidate_walls) - set(baseline_walls))
+    )
+    if any(delta.verdict == VERDICT_REGRESSED for delta in deltas):
+        verdict = VERDICT_REGRESSED
+    elif any(delta.verdict == VERDICT_IMPROVED for delta in deltas):
+        verdict = VERDICT_IMPROVED
+    else:
+        verdict = VERDICT_FLAT
+    return Comparison(
+        deltas=tuple(deltas),
+        only_baseline=only_baseline,
+        only_candidate=only_candidate,
+        verdict=verdict,
+    )
+
+
+def render_comparison(
+    comparison: Comparison,
+    baseline: Optional[Mapping[str, Any]] = None,
+    candidate: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """A plain-text report of one comparison, non-FLAT phases first."""
+    lines: List[str] = []
+    if baseline is not None and candidate is not None:
+        base_env = baseline.get("environment", {})
+        cand_env = candidate.get("environment", {})
+        lines.append(
+            f"comparing {baseline.get('label')!r} -> "
+            f"{candidate.get('label')!r}"
+        )
+        if base_env != cand_env:
+            lines.append(
+                "  WARNING: environment fingerprints differ; absolute "
+                "timings may not be comparable"
+            )
+    interesting = [
+        delta
+        for delta in comparison.deltas
+        if delta.verdict != VERDICT_FLAT
+    ]
+    for delta in interesting:
+        change = (
+            f"{(delta.ratio - 1.0) * 100.0:+.0f}%"
+            if delta.ratio != float("inf")
+            else "new cost"
+        )
+        lines.append(
+            f"  {delta.verdict:<9} {delta.entry} / {delta.path}: "
+            f"{delta.baseline_seconds:.3f}s -> "
+            f"{delta.candidate_seconds:.3f}s ({change})"
+        )
+    flat = len(comparison.deltas) - len(interesting)
+    lines.append(
+        f"  {flat} phase(s) flat, "
+        f"{len(comparison.improvements)} improved, "
+        f"{len(comparison.regressions)} regressed"
+    )
+    for entry, path in comparison.only_baseline:
+        lines.append(f"  note: {entry} / {path} only in baseline")
+    for entry, path in comparison.only_candidate:
+        lines.append(f"  note: {entry} / {path} only in candidate")
+    lines.append(f"verdict: {comparison.verdict}")
+    return "\n".join(lines)

@@ -7,7 +7,11 @@ Subcommands:
   the outcome, optionally save the schedule;
 * ``bounds`` — print the §5.2 bounds of a scenario;
 * ``figure`` — reproduce one of Figures 2–5 as an ASCII table;
-* ``validate`` — check a saved schedule against a saved scenario.
+* ``validate`` — check a saved schedule against a saved scenario;
+* ``bench`` — run the pinned perf matrix under the span profiler and
+  emit a schema-versioned ``BENCH_*.json`` document; ``bench compare``
+  diffs two documents against regression thresholds (exit 0 flat /
+  3 improved / 4 regressed).
 
 The ``sweep`` and ``figure`` subcommands accept ``--workers`` (process
 fan-out), ``--cache-dir`` (persistent run-record cache), and
@@ -230,6 +234,80 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_flags(sweep)
 
+    bench = sub.add_parser(
+        "bench",
+        help=(
+            "run the pinned perf matrix under the span profiler and "
+            "emit a BENCH JSON document; 'bench compare A B' diffs two "
+            "documents (exit 0 flat / 3 improved / 4 regressed)"
+        ),
+    )
+    bench.add_argument(
+        "--scale",
+        default="ci",
+        choices=("ci", "full", "paper"),
+        help="experiment scale of the matrix (default: ci)",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the bench document to PATH as JSON",
+    )
+    bench.add_argument(
+        "--label",
+        default=None,
+        help="document label (default: the scale name)",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the matrix (default: 1, serial)",
+    )
+    bench.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "run-record cache directory; replayed cells contribute "
+            "their original phase timings"
+        ),
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command")
+    compare = bench_sub.add_parser(
+        "compare",
+        help="diff two bench documents against regression thresholds",
+    )
+    compare.add_argument("baseline", help="baseline bench JSON path")
+    compare.add_argument("candidate", help="candidate bench JSON path")
+    compare.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="fractional slowdown classified REGRESSED (default: 0.20)",
+    )
+    compare.add_argument(
+        "--min-improvement",
+        type=float,
+        default=0.20,
+        help="fractional speedup classified IMPROVED (default: 0.20)",
+    )
+    compare.add_argument(
+        "--noise-floor",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help=(
+            "phases under this wall time on both sides are always FLAT "
+            "(default: 0.05)"
+        ),
+    )
+    compare.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (CI smoke mode)",
+    )
+
     report = sub.add_parser(
         "report",
         help="assemble recorded benchmark artifacts into markdown",
@@ -408,6 +486,61 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchmarks import (
+        BenchMatrix,
+        render_bench,
+        run_bench,
+        validate_bench_document,
+    )
+
+    if getattr(args, "bench_command", None) == "compare":
+        return _cmd_bench_compare(args)
+    matrix = BenchMatrix.pinned(args.scale)
+    document = run_bench(
+        matrix,
+        label=args.label or args.scale,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    validate_bench_document(document)
+    print(render_bench(document))
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"bench document written to {args.out}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.benchmarks import (
+        EXIT_FLAT,
+        Thresholds,
+        compare_documents,
+        load_bench_document,
+        render_comparison,
+        verdict_exit_code,
+    )
+
+    baseline = load_bench_document(args.baseline)
+    candidate = load_bench_document(args.candidate)
+    comparison = compare_documents(
+        baseline,
+        candidate,
+        Thresholds(
+            max_regression=args.max_regression,
+            min_improvement=args.min_improvement,
+            noise_floor_seconds=args.noise_floor,
+        ),
+    )
+    print(render_comparison(comparison, baseline, candidate))
+    if args.warn_only:
+        return EXIT_FLAT
+    return verdict_exit_code(comparison.verdict)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     text = build_report(args.results_dir, args.scale)
     if args.output:
@@ -430,6 +563,7 @@ _COMMANDS = {
     "gantt": _cmd_gantt,
     "describe": _cmd_describe,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "report": _cmd_report,
 }
 

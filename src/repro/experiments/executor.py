@@ -46,6 +46,11 @@ from repro.observability.metrics import (
     RunMetrics,
     merge_metrics,
 )
+from repro.observability.profiling import (
+    Profile,
+    ProfileCollector,
+    merge_profiles,
+)
 from repro.observability.tracer import TeeTracer, current_tracer, use_tracer
 from repro.serialization import (
     run_record_from_dict,
@@ -59,7 +64,8 @@ logger = logging.getLogger(__name__)
 
 #: Version stamp of the cache entry layout; bump to invalidate old caches.
 #: Version 2: cached records may carry an embedded ``metrics`` aggregate.
-CACHE_FORMAT_VERSION = 2
+#: Version 3: cached records may carry an embedded span ``profile``.
+CACHE_FORMAT_VERSION = 3
 
 #: The cell kinds an executor knows how to run.
 CELL_KINDS = ("pair", "tier")
@@ -120,30 +126,46 @@ def _dispatch_cell(cell: SweepCell) -> RunRecord:
     return run_pair(cell.scenario, cell.heuristic, cell.criterion, cell.weights)
 
 
-def _run_cell(cell: SweepCell, collect_metrics: bool = False) -> RunRecord:
-    """Execute one cell in-process, optionally under a metrics collector.
+def _run_cell(
+    cell: SweepCell,
+    collect_metrics: bool = False,
+    collect_profile: bool = False,
+) -> RunRecord:
+    """Execute one cell in-process, optionally under observability sinks.
 
     With ``collect_metrics`` the cell runs inside an ambient
-    :class:`~repro.observability.metrics.MetricsCollector` and the
-    finalized aggregate rides back on the record (it crosses process
+    :class:`~repro.observability.metrics.MetricsCollector`, with
+    ``collect_profile`` inside an ambient
+    :class:`~repro.observability.profiling.ProfileCollector`; the
+    finalized aggregates ride back on the record (they cross process
     boundaries as part of the record's serialization dict).
     """
-    if not collect_metrics:
+    if not collect_metrics and not collect_profile:
         return _dispatch_cell(cell)
-    collector = MetricsCollector()
+    metrics = MetricsCollector() if collect_metrics else None
+    profiler = ProfileCollector() if collect_profile else None
     ambient = current_tracer()
     # Keep an already-installed tracer (e.g. a --trace-out stream) in the
     # loop instead of shadowing it for the cell's duration.
-    tracer: Any = (
-        TeeTracer((collector, ambient)) if ambient.enabled else collector
-    )
+    sinks: List[Any] = [
+        sink for sink in (metrics, profiler) if sink is not None
+    ]
+    if ambient.enabled:
+        sinks.append(ambient)
+    tracer: Any = sinks[0] if len(sinks) == 1 else TeeTracer(tuple(sinks))
     with use_tracer(tracer):
         record = _dispatch_cell(cell)
-    return dataclasses.replace(record, metrics=collector.finalize())
+    return dataclasses.replace(
+        record,
+        metrics=metrics.finalize() if metrics is not None else None,
+        profile=profiler.finalize() if profiler is not None else None,
+    )
 
 
 def _execute_payload(
-    payload: Tuple[int, Dict[str, Any], str, str, float, float, str, bool],
+    payload: Tuple[
+        int, Dict[str, Any], str, str, float, float, str, bool, bool
+    ],
 ) -> Tuple[int, Dict[str, Any]]:
     """Worker-side execution of one serialized cell.
 
@@ -160,6 +182,7 @@ def _execute_payload(
         urgency,
         kind,
         collect_metrics,
+        collect_profile,
     ) = payload
     cell = SweepCell(
         scenario=scenario_from_dict(scenario_doc),
@@ -168,7 +191,9 @@ def _execute_payload(
         weights=EUWeights(effective=effective, urgency=urgency),
         kind=kind,
     )
-    return index, run_record_to_dict(_run_cell(cell, collect_metrics))
+    return index, run_record_to_dict(
+        _run_cell(cell, collect_metrics, collect_profile)
+    )
 
 
 @dataclass(frozen=True)
@@ -351,6 +376,15 @@ class SweepExecutor:
             :attr:`metrics_by_scheduler`, and merge into
             :meth:`metrics_total`.  Collection never changes scheduling
             results (pinned by a property test).
+        profile: collect per-cell span profiles.  Each computed cell runs
+            under a
+            :class:`~repro.observability.profiling.ProfileCollector`;
+            the per-run profiles ride back on the records (crossing the
+            process boundary and the run cache, so replayed cells
+            contribute their *original* phase timings), accumulate into
+            :attr:`profile_by_scheduler`, and merge into
+            :meth:`profile_total`.  Like metrics, profiling never changes
+            scheduling results.
 
     The executor is also a context manager (``with SweepExecutor(...)``),
     closing its worker pool on exit.  If a worker raises mid-run, the
@@ -364,6 +398,7 @@ class SweepExecutor:
         workers: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         metrics: bool = False,
+        profile: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(
@@ -374,8 +409,11 @@ class SweepExecutor:
         self.stats = ExecutorStats()
         self.last_summary: Optional[SweepSummary] = None
         self.metrics = bool(metrics)
+        self.profile = bool(profile)
         #: Merged per-run aggregates keyed by scheduler label.
         self.metrics_by_scheduler: Dict[str, RunMetrics] = {}
+        #: Merged per-run span profiles keyed by scheduler label.
+        self.profile_by_scheduler: Dict[str, Profile] = {}
         self._collector = MetricsCollector() if self.metrics else None
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -407,6 +445,10 @@ class SweepExecutor:
         if self._collector is not None:
             total = total.merged(self._collector.finalize())
         return total
+
+    def profile_total(self) -> Profile:
+        """Every collected per-scheduler profile merged into one."""
+        return merge_profiles(self.profile_by_scheduler.values())
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -441,7 +483,9 @@ class SweepExecutor:
             if self.workers == 1 or len(pending) == 1:
                 for index in pending:
                     records[index] = _run_cell(
-                        cells[index], collect_metrics=self.metrics
+                        cells[index],
+                        collect_metrics=self.metrics,
+                        collect_profile=self.profile,
                     )
             else:
                 payloads = [
@@ -454,6 +498,7 @@ class SweepExecutor:
                         cells[index].weights.urgency,
                         cells[index].kind,
                         self.metrics,
+                        self.profile,
                     )
                     for index in pending
                 ]
@@ -505,13 +550,18 @@ class SweepExecutor:
 
         Cell events go to both the ambient tracer (so ``--trace-out``
         captures executor activity) and, when metrics collection is on,
-        the executor's own collector; per-run aggregates riding on the
-        records (including replayed cache entries, which report the
-        *original* run's work, exactly like their timing) merge into
-        :attr:`metrics_by_scheduler`.
+        the executor's own collector; per-run aggregates and profiles
+        riding on the records (including replayed cache entries, which
+        report the *original* run's work, exactly like their timing)
+        merge into :attr:`metrics_by_scheduler` /
+        :attr:`profile_by_scheduler`.
         """
         tracer = current_tracer()
-        if not tracer.enabled and self._collector is None:
+        if (
+            not tracer.enabled
+            and self._collector is None
+            and not self.profile
+        ):
             return
         for index, record in enumerate(records):
             if tracer.enabled:
@@ -520,6 +570,15 @@ class SweepExecutor:
                     record.scheduler,
                     record.cache_hit,
                     record.elapsed_seconds,
+                )
+            if self.profile and record.profile is not None:
+                existing_profile = self.profile_by_scheduler.get(
+                    record.scheduler
+                )
+                self.profile_by_scheduler[record.scheduler] = (
+                    record.profile.merged(Profile())
+                    if existing_profile is None
+                    else existing_profile.merged(record.profile)
                 )
             if self._collector is None:
                 continue

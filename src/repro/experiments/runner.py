@@ -20,6 +20,7 @@ from repro.cost.weights import EUWeights, as_weights
 from repro.heuristics.base import HeuristicResult
 from repro.heuristics.registry import make_heuristic
 from repro.observability.metrics import RunMetrics
+from repro.observability.profiling import Profile
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,10 @@ class RunRecord:
         metrics: optional observability aggregate for the run; populated
             only when metrics collection was requested, and — like
             timing — excluded from result identity.
+        profile: optional per-phase span profile for the run; populated
+            only when profiling was requested, and — like timing —
+            excluded from result identity.  Cache replays restore the
+            *original* run's profile.
     """
 
     scenario: str
@@ -58,6 +63,7 @@ class RunRecord:
     average_hops: float
     cache_hit: bool = False
     metrics: Optional[RunMetrics] = None
+    profile: Optional[Profile] = None
 
     @property
     def satisfied_count(self) -> int:
@@ -72,7 +78,11 @@ class RunRecord:
         parallel, computed versus cached — compare these copies.
         """
         return dataclasses.replace(
-            self, elapsed_seconds=0.0, cache_hit=False, metrics=None
+            self,
+            elapsed_seconds=0.0,
+            cache_hit=False,
+            metrics=None,
+            profile=None,
         )
 
 
@@ -82,6 +92,7 @@ def record_result(
     scheduler: str,
     eu_label: str = "-",
     metrics: Optional[RunMetrics] = None,
+    profile: Optional[Profile] = None,
 ) -> RunRecord:
     """Convert a finished :class:`HeuristicResult` into a record."""
     effect = evaluate_schedule(scenario, result.schedule)
@@ -97,6 +108,7 @@ def record_result(
         elapsed_seconds=result.stats.elapsed_seconds,
         average_hops=result.schedule.average_hops_per_delivery(),
         metrics=metrics,
+        profile=profile,
     )
 
 

@@ -34,6 +34,12 @@ from repro.cost.criteria import CostCriterion, CostResult
 from repro.cost.weights import EUWeights
 from repro.errors import ConfigurationError
 from repro.heuristics.candidates import CandidateGroup, enumerate_groups
+from repro.observability.profiling import (
+    PHASE_BOOKING,
+    PHASE_SCORING,
+    PHASE_TREE,
+    span,
+)
 from repro.routing.dijkstra import compute_shortest_path_tree
 from repro.routing.paths import Hop, ShortestPathTree
 
@@ -135,15 +141,18 @@ class TreeCache:
             return cached
         if tracer.enabled:
             tracer.on_tree_cache(item_id, False)
-        targets = {
-            request.destination
-            for request in self._state.unsatisfied_requests_for_item(item_id)
-        }
-        tree = compute_shortest_path_tree(
-            self._state, item_id, targets, not_before=self._not_before
-        )
-        self._stats.dijkstra_runs += 1
-        entry = self._snapshot(item_id, tree)
+        with span(PHASE_TREE, tracer):
+            targets = {
+                request.destination
+                for request in self._state.unsatisfied_requests_for_item(
+                    item_id
+                )
+            }
+            tree = compute_shortest_path_tree(
+                self._state, item_id, targets, not_before=self._not_before
+            )
+            self._stats.dijkstra_runs += 1
+            entry = self._snapshot(item_id, tree)
         if self._enabled:
             self._trees[item_id] = entry
         return entry
@@ -280,7 +289,8 @@ class StagingHeuristic(abc.ABC):
                 break
             group, result = choice
             stats.iterations += 1
-            hops = self._execute(state, cache, group, result)
+            with span(PHASE_BOOKING, tracer):
+                hops = self._execute(state, cache, group, result)
             stats.hops_booked += hops
             if tracing:
                 tracer.on_decision(
@@ -359,22 +369,25 @@ class StagingHeuristic(abc.ABC):
         tracing = tracer.enabled
         candidates = 0
         best: Optional[Tuple[tuple, CandidateGroup, CostResult]] = None
-        for group in enumerate_groups(
-            state,
-            item_id,
-            tree,
-            scenario.weighting,
-            priorities,
-            request_filter,
-        ):
-            if tracing:
-                candidates += 1
-            result = self._criterion.evaluate(group.evaluations, self._weights)
-            if result.selected is None:
-                continue
-            key = (result.cost,) + group.tie_break_key()
-            if best is None or key < best[0]:
-                best = (key, group, result)
+        with span(PHASE_SCORING, tracer):
+            for group in enumerate_groups(
+                state,
+                item_id,
+                tree,
+                scenario.weighting,
+                priorities,
+                request_filter,
+            ):
+                if tracing:
+                    candidates += 1
+                result = self._criterion.evaluate(
+                    group.evaluations, self._weights
+                )
+                if result.selected is None:
+                    continue
+                key = (result.cost,) + group.tie_break_key()
+                if best is None or key < best[0]:
+                    best = (key, group, result)
         if tracing:
             tracer.on_item_scored(item_id, candidates)
         return best

@@ -11,6 +11,9 @@ The subsystem has three layers:
 * :mod:`repro.observability.metrics` — :class:`MetricsCollector`, a tracer
   that aggregates events into counters/timings, and the serializable
   :class:`RunMetrics` aggregate it produces.
+* :mod:`repro.observability.profiling` — the ``span(...)`` context manager
+  phase profiler and :class:`ProfileCollector`, a tracer that folds span
+  events into a hierarchical, mergeable :class:`Profile`.
 * :mod:`repro.observability.report` — plain-text rendering of per-scheduler
   summaries and link-utilization tables from collected metrics.
 
@@ -29,8 +32,27 @@ from repro.observability.metrics import (
     merge_metrics,
     validate_metrics_document,
 )
+from repro.observability.profiling import (
+    PHASE_BOOKING,
+    PHASE_DIJKSTRA,
+    PHASE_GC,
+    PHASE_NAMES,
+    PHASE_SCENARIO_GENERATION,
+    PHASE_SCORING,
+    PHASE_SERIALIZATION,
+    PHASE_TREE,
+    PROFILE_SCHEMA_VERSION,
+    Hotspot,
+    Profile,
+    ProfileCollector,
+    SpanStat,
+    merge_profiles,
+    span,
+    validate_profile_document,
+)
 from repro.observability.report import (
     render_link_utilization,
+    render_profile,
     render_run_metrics,
     render_scheduler_summaries,
 )
@@ -53,7 +75,24 @@ __all__ = [
     "TimingStat",
     "merge_metrics",
     "validate_metrics_document",
+    "PHASE_BOOKING",
+    "PHASE_DIJKSTRA",
+    "PHASE_GC",
+    "PHASE_NAMES",
+    "PHASE_SCENARIO_GENERATION",
+    "PHASE_SCORING",
+    "PHASE_SERIALIZATION",
+    "PHASE_TREE",
+    "PROFILE_SCHEMA_VERSION",
+    "Hotspot",
+    "Profile",
+    "ProfileCollector",
+    "SpanStat",
+    "merge_profiles",
+    "span",
+    "validate_profile_document",
     "render_link_utilization",
+    "render_profile",
     "render_run_metrics",
     "render_scheduler_summaries",
     "NULL_TRACER",

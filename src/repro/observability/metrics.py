@@ -53,11 +53,18 @@ COUNTER_KEYS: Tuple[str, ...] = (
 class TimingStat:
     """A streaming summary of one timing distribution (seconds).
 
+    Emptiness is explicit: ``count == 0`` means *no observations*, and
+    the JSON form of an empty stat omits ``min``/``max`` entirely (an
+    in-memory empty stat keeps the 0.0 placeholders, but they are never
+    serialized, so a round-trip cannot manufacture a fake 0.0
+    observation).
+
     Attributes:
         count: number of observations.
         total: summed observations.
-        min: smallest observation (0.0 when empty).
-        max: largest observation (0.0 when empty).
+        min: smallest observation (meaningless placeholder when empty;
+            omitted from :meth:`to_dict` output).
+        max: largest observation (likewise).
     """
 
     count: int = 0
@@ -99,7 +106,9 @@ class TimingStat:
         )
 
     def to_dict(self) -> Dict[str, float]:
-        """JSON-ready form."""
+        """JSON-ready form (``min``/``max`` present only when non-empty)."""
+        if self.count == 0:
+            return {"count": 0, "total": self.total}
         return {
             "count": self.count,
             "total": self.total,
@@ -109,9 +118,17 @@ class TimingStat:
 
     @staticmethod
     def from_dict(document: Mapping[str, Any]) -> "TimingStat":
-        """Rebuild from :meth:`to_dict` output."""
+        """Rebuild from :meth:`to_dict` output.
+
+        An empty stat (``count == 0``) rebuilds as the canonical empty
+        :class:`TimingStat` regardless of any ``min``/``max`` keys a
+        pre-omission document may still carry.
+        """
+        count = int(document.get("count", 0))
+        if count == 0:
+            return TimingStat(total=float(document.get("total", 0.0)))
         return TimingStat(
-            count=int(document.get("count", 0)),
+            count=count,
             total=float(document.get("total", 0.0)),
             min=float(document.get("min", 0.0)),
             max=float(document.get("max", 0.0)),
@@ -370,7 +387,23 @@ def validate_metrics_document(document: Mapping[str, Any]) -> None:
         stat = document.get(key)
         if not isinstance(stat, Mapping):
             raise ModelError(f"metrics document key {key!r} must be a mapping")
-        for stat_key in ("count", "total", "min", "max"):
+        for stat_key in ("count", "total"):
+            value = stat.get(stat_key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ModelError(
+                    f"metrics document {key}.{stat_key} has invalid value "
+                    f"{value!r}"
+                )
+        # min/max are mandatory for non-empty stats; an empty stat omits
+        # them (tolerated when present, for pre-omission documents).
+        for stat_key in ("min", "max"):
+            if stat_key not in stat:
+                if stat.get("count"):
+                    raise ModelError(
+                        f"metrics document {key}.{stat_key} is required "
+                        f"when count > 0"
+                    )
+                continue
             value = stat.get(stat_key)
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 raise ModelError(

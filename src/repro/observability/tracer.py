@@ -25,6 +25,8 @@ on_item_scored        candidate enumeration for one item
 on_decision           one scheduled outer-loop choice (with timing)
 on_run_end            one finished heuristic run
 on_cell               one executor grid cell (run-cache hit or computed)
+on_span_start         ``repro.observability.profiling.span`` entry
+on_span_end           ``span`` exit (wall + CPU duration, exception-safe)
 ====================  =====================================================
 """
 
@@ -35,6 +37,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
 
 # -- reason codes -----------------------------------------------------------
 
@@ -170,6 +174,22 @@ class Tracer:
     ) -> None:
         """One sweep grid cell was resolved (computed or replayed)."""
 
+    # -- profiling --------------------------------------------------------
+
+    def on_span_start(self, name: str) -> None:
+        """A profiling span opened (see :mod:`repro.observability.profiling`).
+
+        Spans are emitted by the :func:`~repro.observability.profiling.span`
+        context manager; starts and ends pair up even when the spanned code
+        raises, and spans nest (the pairings form a well-bracketed
+        sequence), so a collector may maintain a stack.
+        """
+
+    def on_span_end(
+        self, name: str, wall_seconds: float, cpu_seconds: float
+    ) -> None:
+        """The matching profiling span closed (wall + CPU duration)."""
+
 
 def _inherit_hook_docs(cls: type) -> type:
     """Copy hook docstrings from :class:`Tracer` onto bare overrides.
@@ -239,23 +259,17 @@ class TraceEvent:
 
 
 @_inherit_hook_docs
-class RecordingTracer(Tracer):
-    """Materializes every event as a :class:`TraceEvent` in memory.
+class _EventTracer(Tracer):
+    """Shared hook bodies for tracers that materialize generic events.
 
-    Intended for tests and interactive inspection; for long runs prefer
-    :class:`JsonlTracer` (bounded memory) or
-    :class:`~repro.observability.metrics.MetricsCollector` (aggregates).
+    Every hook funnels into :meth:`_event` with the event name and its
+    payload fields; subclasses decide what an event *becomes* — an
+    in-memory :class:`TraceEvent` (:class:`RecordingTracer`) or one JSON
+    line on disk (:class:`JsonlTracer`).
     """
 
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
-
     def _event(self, name: str, **fields: Any) -> None:
-        self.events.append(TraceEvent(name=name, fields=tuple(fields.items())))
-
-    def named(self, name: str) -> List[TraceEvent]:
-        """All recorded events of one kind, in emission order."""
-        return [event for event in self.events if event.name == name]
+        raise NotImplementedError
 
     # Hook implementations -------------------------------------------------
 
@@ -367,17 +381,54 @@ class RecordingTracer(Tracer):
             elapsed_seconds=elapsed_seconds,
         )
 
+    def on_span_start(self, name: str) -> None:
+        self._event("span_start", span=name)
 
-class JsonlTracer(RecordingTracer):
+    def on_span_end(
+        self, name: str, wall_seconds: float, cpu_seconds: float
+    ) -> None:
+        self._event(
+            "span_end",
+            span=name,
+            wall_seconds=wall_seconds,
+            cpu_seconds=cpu_seconds,
+        )
+
+
+class RecordingTracer(_EventTracer):
+    """Materializes every event as a :class:`TraceEvent` in memory.
+
+    Intended for tests and interactive inspection; for long runs prefer
+    :class:`JsonlTracer` (bounded memory) or
+    :class:`~repro.observability.metrics.MetricsCollector` (aggregates).
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def _event(self, name: str, **fields: Any) -> None:
+        self.events.append(TraceEvent(name=name, fields=tuple(fields.items())))
+
+    def named(self, name: str) -> List[TraceEvent]:
+        """All recorded events of one kind, in emission order."""
+        return [event for event in self.events if event.name == name]
+
+
+class JsonlTracer(_EventTracer):
     """Streams events to a JSON-lines file instead of keeping them.
 
     One compact JSON object per line, ``{"event": <name>, ...fields}``.
     The tracer is also a context manager; use :meth:`close` (or the
     ``with`` block) to flush and release the file handle.
+
+    Events are *not* retained in memory (that is the point — a ci-scale
+    figure emits millions).  Accessing :attr:`events` or calling
+    :meth:`named` raises :class:`~repro.errors.ConfigurationError` rather
+    than silently answering ``[]``; tee a :class:`RecordingTracer`
+    alongside when in-memory inspection is also needed.
     """
 
     def __init__(self, path: Union[str, Path, IO[str]]) -> None:
-        super().__init__()
         if hasattr(path, "write"):
             self._stream: IO[str] = path  # type: ignore[assignment]
             self._owns_stream = False
@@ -390,6 +441,31 @@ class JsonlTracer(RecordingTracer):
         document.update(fields)
         self._stream.write(
             json.dumps(document, separators=(",", ":")) + "\n"
+        )
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Unsupported — streamed events are not retained.
+
+        Raises:
+            ConfigurationError: always; see the class docstring.
+        """
+        raise ConfigurationError(
+            "JsonlTracer streams events to disk and retains none in "
+            "memory; use a RecordingTracer (or a TeeTracer fanning out to "
+            "both) to inspect events after the run"
+        )
+
+    def named(self, name: str) -> List[TraceEvent]:
+        """Unsupported — streamed events are not retained.
+
+        Raises:
+            ConfigurationError: always; see the class docstring.
+        """
+        raise ConfigurationError(
+            "JsonlTracer streams events to disk and retains none in "
+            "memory; named() has nothing to filter — use a "
+            "RecordingTracer (or a TeeTracer fanning out to both)"
         )
 
     def close(self) -> None:
@@ -464,3 +540,9 @@ class TeeTracer(Tracer):
 
     def on_cell(self, *args: Any) -> None:
         self._fan_out("on_cell", *args)
+
+    def on_span_start(self, *args: Any) -> None:
+        self._fan_out("on_span_start", *args)
+
+    def on_span_end(self, *args: Any) -> None:
+        self._fan_out("on_span_end", *args)

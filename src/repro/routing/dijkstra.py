@@ -26,6 +26,7 @@ import heapq
 from typing import Dict, Optional, Set, Tuple
 
 from repro.core.state import NetworkState
+from repro.observability.profiling import PHASE_DIJKSTRA, span
 from repro.routing.paths import ShortestPathTree, make_tree
 
 
@@ -53,6 +54,16 @@ def compute_shortest_path_tree(
         The :class:`~repro.routing.paths.ShortestPathTree` with exact
         earliest arrivals for every reachable (finalized) machine.
     """
+    with span(PHASE_DIJKSTRA, state.tracer):
+        return _compute_tree(state, item_id, targets, not_before)
+
+
+def _compute_tree(
+    state: NetworkState,
+    item_id: int,
+    targets: Optional[Set[int]],
+    not_before: float,
+) -> ShortestPathTree:
     network = state.scenario.network
     item_size = state.scenario.item(item_id).size
     seeds: Dict[int, float] = {

@@ -31,6 +31,12 @@ from repro.observability.metrics import (
     TimingStat,
     validate_metrics_document,
 )
+from repro.observability.profiling import (
+    PROFILE_SCHEMA_VERSION,
+    Profile,
+    SpanStat,
+    validate_profile_document,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports
     # the core model; experiments modules import this module back)
@@ -265,6 +271,11 @@ def run_record_to_dict(record: "RunRecord") -> Dict[str, Any]:
             if record.metrics is not None
             else None
         ),
+        "profile": (
+            profile_to_dict(record.profile)
+            if record.profile is not None
+            else None
+        ),
     }
 
 
@@ -298,6 +309,11 @@ def run_record_from_dict(document: Dict[str, Any]) -> "RunRecord":
         metrics=(
             run_metrics_from_dict(document["metrics"])
             if document.get("metrics") is not None
+            else None
+        ),
+        profile=(
+            profile_from_dict(document["profile"])
+            if document.get("profile") is not None
             else None
         ),
     )
@@ -371,6 +387,45 @@ def run_metrics_from_dict(document: Dict[str, Any]) -> RunMetrics:
         decision_seconds=TimingStat.from_dict(document["decision_seconds"]),
         cell_seconds=TimingStat.from_dict(document["cell_seconds"]),
         workers=tuple(int(pid) for pid in document["workers"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Profiles
+# ---------------------------------------------------------------------------
+
+def profile_to_dict(profile: Profile) -> Dict[str, Any]:
+    """A JSON-ready dict capturing one span profile.
+
+    Span paths become object keys; each entry carries the ``wall`` and
+    ``cpu`` timing stats (empty stats omit min/max, like
+    :class:`~repro.observability.metrics.TimingStat`).
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "profile",
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "spans": {
+            path: stat.to_dict()
+            for path, stat in sorted(profile.spans.items())
+        },
+    }
+
+
+def profile_from_dict(document: Dict[str, Any]) -> Profile:
+    """Rebuild a span profile from :func:`profile_to_dict` output.
+
+    Raises:
+        ModelError: on a wrong kind, schema version, or invalid structure
+            (delegates to :func:`repro.observability.profiling
+            .validate_profile_document`).
+    """
+    validate_profile_document(document)
+    return Profile(
+        spans={
+            path: SpanStat.from_dict(stat)
+            for path, stat in document["spans"].items()
+        }
     )
 
 

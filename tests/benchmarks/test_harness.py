@@ -1,0 +1,147 @@
+"""The bench harness: matrix expansion, document shape, validation."""
+
+import json
+
+import pytest
+
+from repro.benchmarks import (
+    BENCH_SCHEMA_VERSION,
+    BenchMatrix,
+    environment_fingerprint,
+    load_bench_document,
+    render_bench,
+    run_bench,
+    validate_bench_document,
+)
+from repro.benchmarks.harness import BENCH_PAIRINGS
+from repro.errors import ConfigurationError, ModelError
+from repro.experiments.scale import scale_by_name
+from repro.workload.config import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_matrix():
+    """The pinned pairings over two tiny cases — seconds, not minutes."""
+    ci = scale_by_name("ci")
+    scale = type(ci)(
+        name="ci",
+        cases=2,
+        config=GeneratorConfig.tiny(),
+        log_ratios=ci.log_ratios,
+    )
+    return BenchMatrix(scale=scale)
+
+
+@pytest.fixture(scope="module")
+def bench_document(tiny_matrix):
+    return run_bench(tiny_matrix, label="test")
+
+
+class TestMatrix:
+    def test_pinned_matrix_covers_all_three_heuristics(self):
+        matrix = BenchMatrix.pinned("ci")
+        assert {pair[0] for pair in matrix.pairings} == {
+            "partial",
+            "full_one",
+            "full_all",
+        }
+        assert matrix.cell_count == matrix.scale.cases * len(BENCH_PAIRINGS)
+
+    def test_unknown_scale_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchMatrix.pinned("warp")
+
+
+class TestDocument:
+    def test_document_is_schema_valid(self, bench_document):
+        validate_bench_document(bench_document)
+        assert bench_document["kind"] == "bench"
+        assert bench_document["schema_version"] == BENCH_SCHEMA_VERSION
+        assert bench_document["label"] == "test"
+
+    def test_every_heuristic_has_a_nonempty_phase_breakdown(
+        self, bench_document
+    ):
+        entries = bench_document["entries"]
+        assert len(entries) == 3
+        for scheduler, entry in entries.items():
+            spans = entry["profile"]["spans"]
+            assert spans, scheduler
+            for phase in ("tree", "tree/dijkstra", "scoring"):
+                assert spans[phase]["wall"]["count"] > 0, (scheduler, phase)
+            assert entry["hotspots"], scheduler
+            assert entry["elapsed_seconds"] > 0.0
+
+    def test_harness_profile_covers_generation_and_serialization(
+        self, bench_document
+    ):
+        spans = bench_document["harness"]["spans"]
+        assert spans["scenario_generation"]["wall"]["count"] == 2
+        assert spans["serialization"]["wall"]["count"] == 1
+
+    def test_cache_section_reports_cold_run(self, bench_document):
+        cache = bench_document["cache"]
+        assert cache["cells"] == 6
+        assert cache["computed"] == 6
+        assert cache["cache_hits"] == 0
+        assert cache["hit_rate"] == 0.0
+
+    def test_environment_fingerprint_is_stamped(self, bench_document):
+        fingerprint = environment_fingerprint()
+        assert bench_document["environment"]["python"] == (
+            fingerprint["python"]
+        )
+        assert bench_document["environment"]["cpu_count"] >= 1
+
+    def test_document_survives_json_and_reload(
+        self, bench_document, tmp_path
+    ):
+        path = tmp_path / "BENCH_test.json"
+        path.write_text(json.dumps(bench_document), encoding="utf-8")
+        assert load_bench_document(path) == json.loads(
+            json.dumps(bench_document)
+        )
+
+    def test_render_mentions_every_entry(self, bench_document):
+        text = render_bench(bench_document)
+        for scheduler in bench_document["entries"]:
+            assert scheduler in text
+
+
+class TestValidation:
+    def test_wrong_kind_is_rejected(self):
+        with pytest.raises(ModelError):
+            validate_bench_document({"kind": "profile"})
+
+    def test_wrong_schema_version_is_rejected(self):
+        with pytest.raises(ModelError):
+            validate_bench_document({"kind": "bench", "schema_version": 99})
+
+    def test_invalid_entry_is_rejected(self, bench_document):
+        broken = json.loads(json.dumps(bench_document))
+        first = next(iter(broken["entries"]))
+        broken["entries"][first]["elapsed_seconds"] = "fast"
+        with pytest.raises(ModelError):
+            validate_bench_document(broken)
+
+    def test_invalid_json_file_is_a_model_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ModelError):
+            load_bench_document(path)
+
+
+class TestCacheReplay:
+    def test_warm_cache_reports_hits_and_keeps_phase_timings(
+        self, tiny_matrix, tmp_path
+    ):
+        cold = run_bench(tiny_matrix, cache_dir=tmp_path)
+        warm = run_bench(tiny_matrix, cache_dir=tmp_path)
+        assert cold["cache"]["cache_hits"] == 0
+        assert warm["cache"]["cache_hits"] == warm["cache"]["cells"]
+        assert warm["cache"]["hit_rate"] == 1.0
+        # Replayed cells contribute their recorded timings, not zeros.
+        for scheduler, entry in warm["entries"].items():
+            assert entry["profile"]["spans"] == (
+                cold["entries"][scheduler]["profile"]["spans"]
+            )

@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 from repro.heuristics.registry import heuristic_names, make_heuristic
 from repro.observability import (
     MetricsCollector,
+    ProfileCollector,
     RecordingTracer,
     TeeTracer,
     use_tracer,
@@ -53,3 +54,10 @@ def test_tracing_never_changes_the_schedule(seed, heuristic, criterion, ratio):
         collected = _schedule_text(scenario, heuristic, criterion, ratio)
     assert collected == baseline
     assert collector.finalize().counter("runs") == 1
+
+    profiler = ProfileCollector()
+    with use_tracer(profiler):
+        profiled = _schedule_text(scenario, heuristic, criterion, ratio)
+    assert profiled == baseline
+    # The run really was profiled: spans fired and paired up cleanly.
+    assert not profiler.finalize().empty

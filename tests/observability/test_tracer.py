@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.core.state import NetworkState, TransferPlan
-from repro.errors import InfeasibleTransferError
+from repro.errors import ConfigurationError, InfeasibleTransferError
 from repro.observability import (
     NULL_TRACER,
     JsonlTracer,
@@ -222,6 +222,47 @@ class TestJsonlTracer:
         assert documents
         assert all("event" in doc for doc in documents)
         assert any(doc["event"] == "transfer_booked" for doc in documents)
+
+    def test_events_raises_instead_of_silently_answering_empty(self, tmp_path):
+        # Regression: JsonlTracer used to subclass RecordingTracer and
+        # override _event without recording, so .events/.named() quietly
+        # returned [] — hiding every streamed event from inspection code.
+        with JsonlTracer(tmp_path / "trace.jsonl") as tracer:
+            tracer.on_run_end("label", 1.0)
+            with pytest.raises(ConfigurationError):
+                tracer.events
+            with pytest.raises(ConfigurationError):
+                tracer.named("run_end")
+
+    def test_tee_with_recording_tracer_is_the_supported_inspection_path(
+        self, tmp_path
+    ):
+        path = tmp_path / "trace.jsonl"
+        recorder = RecordingTracer()
+        with JsonlTracer(path) as stream:
+            tee = TeeTracer((stream, recorder))
+            tee.on_run_end("label", 1.0)
+        assert len(recorder.named("run_end")) == 1
+        assert json.loads(path.read_text(encoding="utf-8"))["event"] == (
+            "run_end"
+        )
+
+    def test_span_events_stream_as_json_lines(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.on_span_start("tree")
+            tracer.on_span_end("tree", 0.25, 0.125)
+        documents = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert documents[0] == {"event": "span_start", "span": "tree"}
+        assert documents[1] == {
+            "event": "span_end",
+            "span": "tree",
+            "wall_seconds": 0.25,
+            "cpu_seconds": 0.125,
+        }
 
     def test_accepts_an_open_stream(self, tmp_path):
         path = tmp_path / "stream.jsonl"

@@ -59,6 +59,7 @@ from repro.serialization import (
     save_scenario,
     save_schedule,
 )
+from repro.staticcheck.cli import add_lint_arguments, run_lint
 from repro.workload.config import GeneratorConfig
 from repro.workload.generator import ScenarioGenerator
 from repro.workload.describe import describe, render_description
@@ -324,6 +325,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--output", help="write to a file instead of stdout")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro.staticcheck domain lint (rules R1-R6)",
+    )
+    add_lint_arguments(lint)
+
     return parser
 
 
@@ -565,6 +572,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
     "report": _cmd_report,
+    "lint": run_lint,
 }
 
 

@@ -34,7 +34,9 @@ def evaluate_satisfied(
     for request in scenario.requests:
         total_counts[request.priority] += 1
     weighted_sum = 0.0
-    for request_id in set(satisfied_request_ids):
+    # Sorted so the float summation order (and thus the exact weighted
+    # sum) is independent of the caller's iteration order.
+    for request_id in sorted(set(satisfied_request_ids)):
         request = scenario.request(request_id)
         satisfied_counts[request.priority] += 1
         weighted_sum += scenario.weighting.weight(request.priority)

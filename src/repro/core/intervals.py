@@ -17,6 +17,8 @@ import bisect
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro.core.units import duration_is_zero
+
 
 @dataclass(frozen=True, order=True)
 class Interval:
@@ -184,7 +186,7 @@ class IntervalSet:
         cursor = max(window.start, earliest)
         if cursor + duration > window.end:
             return None
-        if duration == 0:
+        if duration_is_zero(duration):
             # A zero-length booking overlaps nothing.
             return cursor
         # Skip members ending at or before the cursor.

@@ -16,7 +16,7 @@ state (busy intervals, free capacity) lives in
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.link import PhysicalLink, VirtualLink
 from repro.core.machine import Machine
@@ -188,7 +188,7 @@ class Network:
                     frontier.append(nxt)
         return len(visited) == len(self._machines)
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export the virtual-link multigraph as a ``networkx.MultiDiGraph``.
 
         Nodes carry ``capacity``; edges carry the virtual link attributes.

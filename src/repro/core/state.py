@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.intervals import Interval, IntervalSet
 from repro.core.link import VirtualLink
+from repro.core.request import Request
 from repro.core.schedule import Schedule
 from repro.core.scenario import Scenario
 from repro.core.timeline import CapacityTimeline
@@ -234,7 +235,7 @@ class NetworkState:
         """Ids of all satisfied requests, ascending."""
         return tuple(sorted(self._satisfied))
 
-    def unsatisfied_requests_for_item(self, item_id: int):
+    def unsatisfied_requests_for_item(self, item_id: int) -> Tuple[Request, ...]:
         """The item's requests that still lack a delivery."""
         return tuple(
             request

@@ -18,6 +18,7 @@ import bisect
 from typing import List, Tuple
 
 from repro.core.intervals import Interval
+from repro.core.units import size_is_zero, time_eq
 from repro.errors import CapacityError
 
 
@@ -91,7 +92,7 @@ class CapacityTimeline:
         """
         if amount < 0:
             raise ValueError(f"amount must be non-negative, got {amount}")
-        if amount == 0 or interval.is_empty():
+        if size_is_zero(amount) or interval.is_empty():
             return
         if not self.can_reserve(amount, interval):
             raise CapacityError(
@@ -119,7 +120,7 @@ class CapacityTimeline:
         """
         if amount < 0:
             raise ValueError(f"amount must be non-negative, got {amount}")
-        if amount == 0 or interval.is_empty():
+        if size_is_zero(amount) or interval.is_empty():
             return
         self._ensure_breakpoint(interval.start)
         self._ensure_breakpoint(interval.end)
@@ -141,7 +142,7 @@ class CapacityTimeline:
     def _ensure_breakpoint(self, t: float) -> None:
         """Split the step function at ``t`` without changing its value."""
         idx = bisect.bisect_right(self._times, t) - 1
-        if self._times[idx] == t:
+        if time_eq(self._times[idx], t):
             return
         self._times.insert(idx + 1, t)
         self._values.insert(idx + 1, self._values[idx])

@@ -67,6 +67,68 @@ def gigabytes(value: float) -> float:
 
 
 # ---------------------------------------------------------------------------
+# Comparators
+# ---------------------------------------------------------------------------
+#
+# The model's times are floats produced by chains of arithmetic; the
+# scheduler's invariants (booking identity, breakpoint splitting, event
+# grouping) rely on *exact* equality of values that were computed by the
+# same expression, never on "close enough".  Raw ``==`` at a call site
+# cannot distinguish the two readings, so the ``repro.staticcheck`` R2
+# rule bans it on time/bandwidth expressions and requires these named
+# comparators instead: ``time_eq`` documents the identical-computation
+# contract, ``times_close`` documents a tolerance.  The raw operators
+# below each carry the one sanctioned suppression.
+
+#: Tolerance for *approximate* time comparisons (analysis/reporting
+#: only — scheduling decisions must use the exact comparators).
+TIME_EPSILON: float = 1e-9
+
+
+def time_eq(a: float, b: float) -> bool:
+    """Exact equality of two canonical times.
+
+    Both operands must originate from the *identical* computation (a
+    stored breakpoint compared against the key it was inserted under, an
+    event timestamp compared against the group timestamp it was read
+    from).  For values produced by different arithmetic, use
+    :func:`times_close`.
+    """
+    return a == b  # staticcheck: disable=R2
+
+
+def time_ne(a: float, b: float) -> bool:
+    """Exact inequality of two canonical times (see :func:`time_eq`)."""
+    return a != b  # staticcheck: disable=R2
+
+
+def times_close(a: float, b: float, tolerance: float = TIME_EPSILON) -> bool:
+    """True when two times differ by at most ``tolerance`` seconds.
+
+    For comparing times produced by *different* computations (analysis,
+    assertions in tests, report thresholds).  Never use this to decide a
+    booking — a tolerance there would make feasibility depend on float
+    noise and break byte-identical replay.
+    """
+    return abs(a - b) <= tolerance
+
+
+def duration_is_zero(duration: float) -> bool:
+    """True for a zero-length duration (e.g. an empty booking)."""
+    return duration == 0.0  # staticcheck: disable=R2
+
+
+def size_is_zero(size_bytes: float) -> bool:
+    """True for a zero-byte size (e.g. a no-op capacity reservation)."""
+    return size_bytes == 0.0
+
+
+def bandwidth_eq(a: float, b: float) -> bool:
+    """Exact equality of two bandwidths (see :func:`time_eq`)."""
+    return a == b  # staticcheck: disable=R2
+
+
+# ---------------------------------------------------------------------------
 # Bandwidth
 # ---------------------------------------------------------------------------
 
@@ -114,7 +176,7 @@ def format_size(size_bytes: float) -> str:
 
 def format_time(seconds: float) -> str:
     """Human-readable rendering of a time offset (for reports and repr)."""
-    if seconds == float("inf"):
+    if time_eq(seconds, float("inf")):
         return "inf"
     if seconds >= HOUR:
         return f"{seconds / HOUR:.2f}h"

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Set, Tuple, Union
 
 from repro.core.evaluation import evaluate_satisfied
+from repro.core.units import time_eq
 from repro.core.schedule import Schedule, ScheduleEffect
 from repro.core.scenario import Scenario
 from repro.core.state import NetworkState
@@ -165,7 +166,7 @@ class DynamicDriver:
             losses: List[Tuple[int, int]] = []
             reopened: List[int] = []
             outages: List[int] = []
-            while index < len(ordered) and ordered[index].time == now:
+            while index < len(ordered) and time_eq(ordered[index].time, now):
                 event = ordered[index]
                 if isinstance(event, RequestArrival):
                     revealed.add(event.request_id)

@@ -65,6 +65,28 @@ REASON_LINK_CUTOFF = "link_cutoff"
 #: ``book_transfer``: receiver storage cannot cover the copy's residency.
 REASON_STORAGE_CONFLICT = "storage_conflict"
 
+#: All event names a materializing tracer may emit — the registry the
+#: ``repro.staticcheck`` R3 rule checks string literals against.  One
+#: entry per hook in the taxonomy table above; readers filtering events
+#: (``RecordingTracer.named``) must use names from this tuple.
+EVENT_NAMES: Tuple[str, ...] = (
+    "transfer_attempt",
+    "transfer_rejected",
+    "transfer_booked",
+    "booking_failed",
+    "copy_removed",
+    "request_reopened",
+    "link_disabled",
+    "dijkstra",
+    "tree_cache",
+    "item_scored",
+    "decision",
+    "run_end",
+    "cell",
+    "span_start",
+    "span_end",
+)
+
 #: All reason codes a rejection/failure event may carry.
 REASON_CODES: Tuple[str, ...] = (
     REASON_ALREADY_AT_DESTINATION,

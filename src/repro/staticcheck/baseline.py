@@ -1,0 +1,93 @@
+"""Baseline files: grandfathered findings the gate tolerates.
+
+A baseline lets the lint gate turn on *strict for new code* while the
+backlog of pre-existing findings is burned down deliberately.  The file
+(``staticcheck-baseline.json`` at the repository root by convention) is
+a JSON document::
+
+    {
+      "version": 1,
+      "findings": [
+        {"rule": "R2", "path": "core/legacy.py",
+         "line_text": "if a.start == b.start:"},
+        ...
+      ]
+    }
+
+Matching is by ``(rule, path, stripped source line)`` — deliberately
+line-number-free so unrelated edits above a grandfathered site do not
+resurrect it, while any edit *to the offending line itself* re-triggers
+the gate.  Each entry absorbs exactly one finding; duplicate entries
+absorb duplicates.  ``datastage lint --update-baseline`` rewrites the
+file from the current findings (and prunes entries that no longer
+match, keeping the baseline monotonically shrinking).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from repro.errors import ModelError
+from repro.staticcheck.engine import Finding
+
+#: Version stamp of the baseline document layout.
+BASELINE_SCHEMA_VERSION = 1
+
+#: Conventional baseline filename at the repository root.
+DEFAULT_BASELINE_NAME = "staticcheck-baseline.json"
+
+
+def load_baseline(path: Union[str, Path]) -> List[Tuple[str, str, str]]:
+    """Read a baseline file into finding fingerprints.
+
+    Raises:
+        ModelError: on a malformed document or unsupported version.
+    """
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(document, dict):
+        raise ModelError(f"baseline {path} is not a JSON object")
+    version = document.get("version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise ModelError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {BASELINE_SCHEMA_VERSION})"
+        )
+    entries = document.get("findings")
+    if not isinstance(entries, list):
+        raise ModelError(f"baseline {path} has no 'findings' list")
+    fingerprints: List[Tuple[str, str, str]] = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ModelError(f"baseline {path} has a non-object entry")
+        try:
+            fingerprints.append(
+                (
+                    str(entry["rule"]),
+                    str(entry["path"]),
+                    str(entry["line_text"]),
+                )
+            )
+        except KeyError as exc:
+            raise ModelError(
+                f"baseline {path} entry is missing key {exc}"
+            ) from exc
+    return fingerprints
+
+
+def save_baseline(
+    findings: Iterable[Finding], path: Union[str, Path]
+) -> None:
+    """Write the given findings as a fresh baseline file."""
+    entries = [
+        {"rule": rule, "path": relpath, "line_text": line_text}
+        for rule, relpath, line_text in sorted(
+            finding.fingerprint() for finding in findings
+        )
+    ]
+    document = {"version": BASELINE_SCHEMA_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

@@ -1,0 +1,395 @@
+"""The staticcheck engine: findings, suppressions, rule registry, runner.
+
+``repro.staticcheck`` is a zero-dependency AST linter for the *domain*
+invariants the test suite cannot see syntactically: scheduling code must
+stay deterministic and wall-clock-free, simulated times must never be
+compared with raw float ``==``, event/reason literals must exist in the
+tracer registry, and serialized codecs must stay schema-versioned.  The
+engine walks a source tree, parses every module once, and hands the
+parsed :class:`Module` to each registered :class:`Rule`.
+
+Rules report :class:`Finding` objects (rule id, location, message, fix
+hint).  Two escape hatches exist:
+
+* per-line suppressions — a ``# staticcheck: disable=R1`` (or
+  ``disable=R1,R2`` / ``disable=all``) comment on the offending line;
+* a committed baseline file of grandfathered findings (see
+  :mod:`repro.staticcheck.baseline`), matched by rule, path, and the
+  normalized source-line text so findings survive unrelated line drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError
+
+#: Matches a per-line suppression comment anywhere on a physical line.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*staticcheck:\s*disable=([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: the rule id (``"R1"`` .. ``"R6"``).
+        path: path of the offending module, relative to the scanned root,
+            always with POSIX separators (stable across platforms, used
+            for baseline matching).
+        line: 1-based line number.
+        column: 0-based column offset.
+        message: what is wrong, concretely.
+        hint: how to fix it (the rule's standing advice).
+        line_text: the stripped source line, for baseline fingerprints.
+    """
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    hint: str = ""
+    line_text: str = ""
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching."""
+        return (self.rule, self.path, self.line_text)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (used by ``--format json`` and baselines)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+            "line_text": self.line_text,
+        }
+
+    def render(self) -> str:
+        """One-line human rendering, ``path:line:col Rn message``."""
+        text = f"{self.path}:{self.line}:{self.column + 1} {self.rule} {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+
+@dataclass
+class Module:
+    """One parsed source module handed to every rule.
+
+    Attributes:
+        path: absolute filesystem path.
+        relpath: POSIX path relative to the scanned root (rule scopes and
+            baseline fingerprints key on this).
+        source: the full source text.
+        tree: the parsed ``ast.Module``.
+        lines: the source split into lines (index 0 = line 1).
+    """
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: Tuple[str, ...]
+
+    def line_text(self, line: int) -> str:
+        """The stripped text of a 1-based source line ("" out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at an AST node."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule.id,
+            path=self.relpath,
+            line=line,
+            column=column,
+            message=message,
+            hint=hint if hint is not None else rule.hint,
+            line_text=self.line_text(line),
+        )
+
+
+@dataclass
+class CheckContext:
+    """Cross-module facts shared by all rules during one run.
+
+    Attributes:
+        root: the scanned root directory.
+        event_names: the tracer event-name registry in force (extracted
+            from the scanned tree's ``observability/tracer.py`` when
+            present, else the installed package's registry).
+        reason_codes: likewise for rejection/failure reason codes.
+    """
+
+    root: Path
+    event_names: frozenset
+    reason_codes: frozenset
+
+
+class Rule:
+    """Base class for staticcheck rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes:
+        id: short stable id (``"R1"``).
+        title: one-line rule name for ``--list-rules`` and docs.
+        hint: the standing fix advice attached to findings by default.
+        scope: top-level package directories (relative to the scanned
+            root) the rule applies to; ``None`` means every module.
+    """
+
+    id: str = ""
+    title: str = ""
+    hint: str = ""
+    scope: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: Module) -> bool:
+        """True when the module lies inside the rule's scope."""
+        if self.scope is None:
+            return True
+        first = module.relpath.split("/", 1)[0]
+        return first in self.scope
+
+    def check(self, module: Module, context: CheckContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.id}: {self.title}>"
+
+
+#: Registry of rule instances, keyed by rule id, in registration order.
+RULE_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_class: type) -> type:
+    """Class decorator adding one rule instance to :data:`RULE_REGISTRY`."""
+    rule = rule_class()
+    if not rule.id:
+        raise ConfigurationError(
+            f"rule class {rule_class.__name__} has no id"
+        )
+    if rule.id in RULE_REGISTRY:
+        raise ConfigurationError(f"duplicate rule id {rule.id}")
+    RULE_REGISTRY[rule.id] = rule
+    return rule_class
+
+
+def default_rules() -> Tuple[Rule, ...]:
+    """All built-in rules, importing the rule modules on first use."""
+    from repro.staticcheck import rules as _rules  # noqa: F401
+
+    return tuple(RULE_REGISTRY.values())
+
+
+def resolve_rules(ids: Optional[Sequence[str]]) -> Tuple[Rule, ...]:
+    """The selected rules (all by default).
+
+    Raises:
+        ConfigurationError: on an unknown rule id.
+    """
+    rules = default_rules()
+    if not ids:
+        return rules
+    unknown = sorted(set(ids) - set(RULE_REGISTRY))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown rule id(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(RULE_REGISTRY))}"
+        )
+    wanted = set(ids)
+    return tuple(rule for rule in rules if rule.id in wanted)
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+def suppressed_rules(line_text: str) -> frozenset:
+    """Rule ids suppressed by a line's comment (``{"all"}`` for blanket)."""
+    match = _SUPPRESSION_RE.search(line_text)
+    if match is None:
+        return frozenset()
+    return frozenset(
+        token.strip() for token in match.group(1).split(",") if token.strip()
+    )
+
+
+def is_suppressed(finding: Finding, module: Module) -> bool:
+    """True when the finding's source line carries a matching suppression."""
+    rules = suppressed_rules(module.line_text(finding.line))
+    return bool(rules) and ("all" in rules or finding.rule in rules)
+
+
+# ---------------------------------------------------------------------------
+# Tree walking
+# ---------------------------------------------------------------------------
+
+def _iter_source_files(root: Path) -> Iterator[Path]:
+    for path in sorted(root.rglob("*.py")):
+        if any(part.startswith(".") for part in path.parts):
+            continue
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+def load_module(path: Path, root: Path) -> Module:
+    """Parse one source file into a :class:`Module`.
+
+    Raises:
+        ConfigurationError: when the file does not parse.
+    """
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise ConfigurationError(f"cannot parse {path}: {exc}") from exc
+    relpath = path.relative_to(root).as_posix()
+    return Module(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    )
+
+
+def _registry_from_tree(root: Path) -> Tuple[frozenset, frozenset]:
+    """Extract the tracer event/reason registries for R3.
+
+    Prefers the scanned tree's own ``observability/tracer.py`` (so a
+    vendored or fixture tree is checked against *its* registry); falls
+    back to the installed package's registry when the tree carries none.
+    """
+    tracer_path = root / "observability" / "tracer.py"
+    if tracer_path.is_file():
+        tree = ast.parse(tracer_path.read_text(encoding="utf-8"))
+        events: List[str] = []
+        reasons: List[str] = []
+        for node in tree.body:
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names:
+                continue
+            value = node.value
+            if "EVENT_NAMES" in names and isinstance(value, ast.Tuple):
+                events.extend(
+                    element.value
+                    for element in value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                )
+            if any(name.startswith("REASON_") for name in names) and isinstance(
+                value, ast.Constant
+            ) and isinstance(value.value, str):
+                reasons.append(value.value)
+        if events or reasons:
+            return frozenset(events), frozenset(reasons)
+    from repro.observability.tracer import EVENT_NAMES, REASON_CODES
+
+    return frozenset(EVENT_NAMES), frozenset(REASON_CODES)
+
+
+@dataclass
+class CheckResult:
+    """The outcome of one :func:`run_check` invocation.
+
+    Attributes:
+        findings: active findings, sorted by (path, line, rule).
+        suppressed: count of findings silenced by inline comments.
+        baselined: count of findings matched by the baseline.
+        files_checked: number of modules scanned.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no active findings remain."""
+        return not self.findings
+
+
+def run_check(
+    root: Path,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Iterable[Tuple[str, str, str]]] = None,
+) -> CheckResult:
+    """Lint every module under ``root`` with the given rules.
+
+    Args:
+        root: directory to scan (typically ``src/repro`` or a fixture
+            tree mirroring its layout).
+        rules: rule instances to run (default: all registered rules).
+        baseline: grandfathered finding fingerprints; each matching
+            fingerprint absorbs at most as many findings as it appears.
+
+    Raises:
+        ConfigurationError: when ``root`` is not a directory or a module
+            fails to parse.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ConfigurationError(f"lint root {root} is not a directory")
+    active_rules = tuple(rules) if rules is not None else default_rules()
+    event_names, reason_codes = _registry_from_tree(root)
+    context = CheckContext(
+        root=root, event_names=event_names, reason_codes=reason_codes
+    )
+    budget: Dict[Tuple[str, str, str], int] = {}
+    for fingerprint in baseline or ():
+        budget[fingerprint] = budget.get(fingerprint, 0) + 1
+    result = CheckResult()
+    for path in _iter_source_files(root):
+        module = load_module(path, root)
+        result.files_checked += 1
+        for rule in active_rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module, context):
+                if is_suppressed(finding, module):
+                    result.suppressed += 1
+                    continue
+                key = finding.fingerprint()
+                if budget.get(key, 0) > 0:
+                    budget[key] -= 1
+                    result.baselined += 1
+                    continue
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule, f.column))
+    return result

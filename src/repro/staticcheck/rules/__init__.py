@@ -1,0 +1,22 @@
+"""Built-in staticcheck rules.
+
+Importing this package registers every rule with
+:data:`repro.staticcheck.engine.RULE_REGISTRY`:
+
+====  =====================================================
+R1    no unseeded RNG / wall-clock reads in scheduling code
+R2    no raw float ``==``/``!=`` on time or bandwidth values
+R3    tracer event/reason literals must be registered
+R4    codec modules: schema versions + field-set agreement
+R5    no iteration over unordered sets in scheduling code
+R6    public ``core``/``heuristics`` signatures fully typed
+====  =====================================================
+
+See ``docs/STATICCHECK.md`` for rationale and examples.
+"""
+
+from repro.staticcheck.rules import annotations  # noqa: F401
+from repro.staticcheck.rules import codec_schema  # noqa: F401
+from repro.staticcheck.rules import determinism  # noqa: F401
+from repro.staticcheck.rules import floatcmp  # noqa: F401
+from repro.staticcheck.rules import tracer_registry  # noqa: F401

@@ -1,0 +1,92 @@
+"""R6: public functions in ``core/`` and ``heuristics/`` are fully typed.
+
+These two packages are the API surface every heuristic, baseline, and
+experiment builds on; the strict mypy gate (``[tool.mypy]`` in
+``pyproject.toml``) can only hold if their public signatures carry
+complete annotations.  This rule is the fast, zero-dependency tier of
+that gate: every public function and method (name not starting with
+``_``) must annotate each parameter (``self``/``cls`` excepted) and its
+return type.  Dunder methods other than ``__init__`` are treated as
+public; ``__init__`` is checked for parameters but not for a return
+annotation (``-> None`` is allowed, not required).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.staticcheck.engine import (
+    CheckContext,
+    Finding,
+    Module,
+    Rule,
+    register,
+)
+
+
+def _is_public(name: str) -> bool:
+    if name == "__init__":
+        return True
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return not name.startswith("_")
+
+
+def _unannotated_params(function: ast.FunctionDef) -> List[str]:
+    names: List[str] = []
+    args = function.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if positional and positional[0].arg in {"self", "cls"}:
+        positional = positional[1:]
+    for arg in positional + list(args.kwonlyargs):
+        if arg.annotation is None:
+            names.append(arg.arg)
+    for vararg in (args.vararg, args.kwarg):
+        if vararg is not None and vararg.annotation is None:
+            names.append(vararg.arg)
+    return names
+
+
+@register
+class PublicAnnotationRule(Rule):
+    """R6: public core/heuristics signatures must be fully annotated."""
+
+    id = "R6"
+    title = "public core/ and heuristics/ functions must be fully typed"
+    hint = "annotate every parameter and the return type"
+    scope = ("core", "heuristics")
+
+    def check(
+        self, module: Module, context: CheckContext
+    ) -> Iterator[Finding]:
+        """Flag public core/heuristics signatures with missing annotations."""
+        # Walk module and class bodies only — nested helpers are private
+        # by construction regardless of their name.
+        todo: List[ast.stmt] = list(module.tree.body)
+        while todo:
+            node = todo.pop(0)
+            if isinstance(node, ast.ClassDef):
+                todo.extend(node.body)
+                continue
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if not _is_public(node.name):
+                continue
+            missing = _unannotated_params(node)
+            if missing:
+                yield module.finding(
+                    self,
+                    node,
+                    f"public function {node.name} has unannotated "
+                    f"parameter(s) {', '.join(missing)}",
+                )
+            if node.returns is None and node.name != "__init__":
+                yield module.finding(
+                    self,
+                    node,
+                    f"public function {node.name} has no return "
+                    f"annotation",
+                )

@@ -1,0 +1,120 @@
+"""R3: event-name and reason-code literals must exist in the registry.
+
+The observability pipeline (tracer -> metrics -> reports -> mergeable
+JSON artifacts) is stringly keyed: an event emitted as
+``self._event("transfer_boked", ...)`` would flow to disk, never match a
+reader's filter, and silently vanish from every aggregate.  The tracer
+module's :data:`~repro.observability.tracer.EVENT_NAMES` and
+:data:`~repro.observability.tracer.REASON_CODES` tuples are the single
+source of truth; this rule checks every literal used as an event name or
+reason code against them.
+
+Checked sites:
+
+* ``*._event("name", ...)`` — the funnel every materializing tracer
+  emits through;
+* ``*.named("name")`` — the reader-side filter on recorded events;
+* ``reason="literal"`` keyword arguments to tracer hooks
+  (``on_transfer_rejected`` / ``on_booking_failed``) and comparisons of
+  a reason-named expression against a literal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.staticcheck.engine import (
+    CheckContext,
+    Finding,
+    Module,
+    Rule,
+    register,
+)
+
+
+def _literal_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _attr_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@register
+class TracerRegistryRule(Rule):
+    """R3: tracer event/reason literals must exist in the registry."""
+
+    id = "R3"
+    title = "tracer event names and reason codes must be registered"
+    hint = (
+        "use a name from repro.observability.tracer EVENT_NAMES / "
+        "REASON_CODES (add it to the registry if the taxonomy grew)"
+    )
+
+    def check(
+        self, module: Module, context: CheckContext
+    ) -> Iterator[Finding]:
+        """Check event/reason string literals against the registry."""
+        events = context.event_names
+        reasons = context.reason_codes
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                callee = _attr_name(node.func)
+                if callee == "_event" and node.args:
+                    name = _literal_str(node.args[0])
+                    if name is not None and name not in events:
+                        yield module.finding(
+                            self,
+                            node.args[0],
+                            f"event name {name!r} is not in the tracer "
+                            f"EVENT_NAMES registry",
+                        )
+                elif callee == "named" and node.args:
+                    name = _literal_str(node.args[0])
+                    if name is not None and name not in events:
+                        yield module.finding(
+                            self,
+                            node.args[0],
+                            f"named() filter {name!r} matches no "
+                            f"registered event name",
+                        )
+                if callee is not None and callee.startswith("on_"):
+                    for keyword in node.keywords:
+                        if keyword.arg != "reason":
+                            continue
+                        reason = _literal_str(keyword.value)
+                        if reason is not None and reason not in reasons:
+                            yield module.finding(
+                                self,
+                                keyword.value,
+                                f"reason code {reason!r} is not in the "
+                                f"tracer REASON_CODES registry",
+                            )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for index, op in enumerate(node.ops):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    left, right = operands[index], operands[index + 1]
+                    for named, literal in ((left, right), (right, left)):
+                        hint = _attr_name(named)
+                        value = _literal_str(literal)
+                        if hint is None or value is None:
+                            continue
+                        if (
+                            "reason" in hint.lower()
+                            and value not in reasons
+                        ):
+                            yield module.finding(
+                                self,
+                                literal,
+                                f"comparison against unregistered reason "
+                                f"code {value!r}",
+                            )

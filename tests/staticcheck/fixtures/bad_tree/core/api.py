@@ -1,0 +1,6 @@
+"""Seeded R6 violation: a public unannotated function."""
+
+
+def widen(value, factor=2.0):
+    """Scale a value (deliberately unannotated)."""
+    return value * factor

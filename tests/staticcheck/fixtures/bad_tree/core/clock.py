@@ -1,0 +1,8 @@
+"""Seeded R1 violation: an unseeded module-level RNG draw."""
+
+import random
+
+
+def jitter() -> float:
+    """A nondeterministic value (deliberately bad)."""
+    return random.random()

@@ -1,0 +1,13 @@
+"""Seeded R4 violation: a codec module without a SCHEMA_VERSION."""
+
+from typing import Dict
+
+
+def payload_to_dict(value: float) -> Dict[str, float]:
+    """Encode (deliberately unversioned)."""
+    return {"value": value}
+
+
+def payload_from_dict(doc: Dict[str, float]) -> float:
+    """Decode (deliberately unversioned)."""
+    return doc["value"]

@@ -1,0 +1,6 @@
+"""Seeded R2 violation: raw float == on two times."""
+
+
+def same_instant(start_time: float, end_time: float) -> bool:
+    """Exact float equality on times (deliberately bad)."""
+    return start_time == end_time

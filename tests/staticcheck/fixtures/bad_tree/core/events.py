@@ -1,0 +1,6 @@
+"""Seeded R3 violation: a misspelled event-name literal."""
+
+
+def emit(tracer: object) -> None:
+    """Emit a typo'd event (deliberately bad)."""
+    tracer._event("transfer_boked", t=0.0)

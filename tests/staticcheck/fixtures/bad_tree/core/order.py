@@ -1,0 +1,11 @@
+"""Seeded R5 violation: iterating an unordered set parameter."""
+
+from typing import FrozenSet, List
+
+
+def drain(ids: FrozenSet[int]) -> List[int]:
+    """Collect ids in set order (deliberately bad)."""
+    out: List[int] = []
+    for request_id in ids:
+        out.append(request_id)
+    return out

@@ -1,0 +1,7 @@
+"""Fixture tracer registry — the R3 source of truth for this tree."""
+
+EVENT_NAMES = ("transfer_booked",)
+
+REASON_WINDOW_CLOSED = "window_closed"
+
+REASON_CODES = (REASON_WINDOW_CLOSED,)

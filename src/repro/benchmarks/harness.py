@@ -52,6 +52,7 @@ from repro.cost.weights import as_weights
 from repro.errors import ModelError
 from repro.experiments.executor import SweepCell, SweepExecutor
 from repro.experiments.scale import ExperimentScale, scale_by_name
+from repro.faults.plan import FaultPlan
 from repro.observability.profiling import (
     PHASE_SERIALIZATION,
     ProfileCollector,
@@ -94,20 +95,36 @@ class BenchMatrix:
         scale: the experiment scale (cases, generator config, seeds).
         pairings: the benchmarked (heuristic, criterion) pairs.
         log_ratio: the single E-U point every pair runs at.
+        fault_intensity: when positive, every cell runs under a seeded
+            static :class:`~repro.faults.plan.FaultPlan` of this
+            intensity — a faulted perf baseline that exercises capacity
+            masking in the hot path.
+        fault_seed: base seed for generated fault plans (case ``i`` uses
+            ``fault_seed + i``).
     """
 
     scale: ExperimentScale
     pairings: Tuple[Tuple[str, str], ...] = BENCH_PAIRINGS
     log_ratio: float = BENCH_LOG_RATIO
+    fault_intensity: float = 0.0
+    fault_seed: int = 0
 
     @staticmethod
-    def pinned(scale_name: str) -> "BenchMatrix":
+    def pinned(
+        scale_name: str,
+        fault_intensity: float = 0.0,
+        fault_seed: int = 0,
+    ) -> "BenchMatrix":
         """The standard matrix at a named scale (``ci``/``full``/``paper``).
 
         Raises:
             ConfigurationError: for unknown scale names.
         """
-        return BenchMatrix(scale=scale_by_name(scale_name))
+        return BenchMatrix(
+            scale=scale_by_name(scale_name),
+            fault_intensity=fault_intensity,
+            fault_seed=fault_seed,
+        )
 
     @property
     def cell_count(self) -> int:
@@ -161,15 +178,27 @@ def run_bench(
             for scenario in scenarios:
                 scenario_from_dict(scenario_to_dict(scenario))
 
+    plans: List[Optional[FaultPlan]] = [None] * len(scenarios)
+    if matrix.fault_intensity > 0.0:
+        plans = [
+            FaultPlan.generate(
+                scenario,
+                matrix.fault_intensity,
+                seed=matrix.fault_seed + case,
+                churn=False,
+            )
+            for case, scenario in enumerate(scenarios)
+        ]
     cells = [
         SweepCell(
             scenario=scenario,
             heuristic=heuristic,
             criterion=criterion,
             weights=as_weights(matrix.log_ratio),
+            faults=plans[case],
         )
         for heuristic, criterion in matrix.pairings
-        for scenario in scenarios
+        for case, scenario in enumerate(scenarios)
     ]
     with SweepExecutor(
         workers=workers, cache_dir=cache_dir, profile=True

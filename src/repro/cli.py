@@ -38,8 +38,12 @@ from repro.baselines.bounds import possible_satisfy, upper_bound
 from repro.core.evaluation import evaluate_schedule
 from repro.core.validation import ScheduleValidator
 from repro.cost.criteria import criterion_names
-from repro.errors import DataStagingError, ValidationError
-from repro.experiments.executor import SweepExecutor
+from repro.errors import (
+    ConfigurationError,
+    DataStagingError,
+    ValidationError,
+)
+from repro.experiments.executor import SweepExecutor, SweepSummary
 from repro.experiments.figures import figure2, heuristic_figure
 from repro.experiments.report import build_report
 from repro.experiments.runner import run_pair
@@ -235,6 +239,63 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_flags(sweep)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "sweep fault intensities over random cases and report "
+            "per-heuristic deadline-miss deltas vs the healthy baseline"
+        ),
+    )
+    chaos.add_argument(
+        "--scale",
+        default="ci",
+        choices=("ci", "full", "paper"),
+        help="experiment scale (default: ci)",
+    )
+    chaos.add_argument(
+        "--cases",
+        type=int,
+        default=None,
+        help="cap the number of test cases (default: the scale's count)",
+    )
+    chaos.add_argument(
+        "--heuristic",
+        action="append",
+        choices=heuristic_names(),
+        dest="heuristics",
+        help="heuristic to include (repeatable; default: all registered)",
+    )
+    chaos.add_argument(
+        "--criterion", choices=criterion_names(), default="C4"
+    )
+    chaos.add_argument(
+        "--log-ratio",
+        type=float,
+        default=2.0,
+        help="log10(W_E/W_U) for all runs (default: 2.0)",
+    )
+    chaos.add_argument(
+        "--intensities",
+        default="0,0.25,0.5",
+        help=(
+            "comma-separated fault intensities in [0, 1]; 0 (the healthy "
+            "baseline) is always included (default: 0,0.25,0.5)"
+        ),
+    )
+    chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="base seed for generated fault plans (default: 0)",
+    )
+    chaos.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the robustness report to PATH as JSON",
+    )
+    _add_executor_flags(chaos)
+
     bench = sub.add_parser(
         "bench",
         help=(
@@ -273,6 +334,21 @@ def _build_parser() -> argparse.ArgumentParser:
             "run-record cache directory; replayed cells contribute "
             "their original phase timings"
         ),
+    )
+    bench.add_argument(
+        "--fault-intensity",
+        type=float,
+        default=0.0,
+        help=(
+            "run the matrix under generated fault plans of this "
+            "intensity (default: 0, healthy)"
+        ),
+    )
+    bench.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="base seed for generated fault plans (default: 0)",
     )
     bench_sub = bench.add_subparsers(dest="bench_command")
     compare = bench_sub.add_parser(
@@ -483,12 +559,84 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ),
         )
     )
-    if summary is not None:
+    _print_summary(summary)
+    _emit_metrics(args, executor)
+    return 0
+
+
+def _print_summary(summary: Optional[SweepSummary]) -> None:
+    """Print the executor's cell accounting, flagging degraded runs."""
+    if summary is None:
+        return
+    print(
+        f"[{summary.cells} cells: {summary.computed} computed, "
+        f"{summary.cache_hits} cached; {summary.wall_seconds:.2f}s "
+        f"wall, speedup {summary.speedup:.1f}x]"
+    )
+    if summary.degraded:
         print(
-            f"[{summary.cells} cells: {summary.computed} computed, "
-            f"{summary.cache_hits} cached; {summary.wall_seconds:.2f}s "
-            f"wall, speedup {summary.speedup:.1f}x]"
+            f"[degraded mode: {summary.retries} transient retries, "
+            f"{summary.quarantined} cache records quarantined]"
         )
+
+
+def _parse_intensities(text: str) -> List[float]:
+    values: List[float] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            values.append(float(token))
+        except ValueError:
+            raise ConfigurationError(
+                f"--intensities expects comma-separated floats, got "
+                f"{token!r}"
+            ) from None
+    if not values:
+        raise ConfigurationError("--intensities must name at least one value")
+    return values
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import (
+        chaos_report_to_dict,
+        render_chaos_report,
+        run_chaos,
+    )
+
+    intensities = _parse_intensities(args.intensities)
+    scale = scale_by_name(args.scale)
+    cases = scale.cases if args.cases is None else args.cases
+    if cases < 1:
+        raise ConfigurationError("--cases must be at least 1")
+    generator = ScenarioGenerator(scale.config)
+    scenarios = generator.generate_suite(cases, scale.base_seed)
+    with ExitStack() as stack:
+        _install_tracer(args, stack)
+        executor = stack.enter_context(_executor_from_args(args))
+        report = run_chaos(
+            scenarios,
+            heuristics=args.heuristics,
+            criterion=args.criterion,
+            log_ratio=args.log_ratio,
+            intensities=intensities,
+            fault_seed=args.fault_seed,
+            executor=executor,
+            scale=scale.name,
+        )
+        summary = executor.last_summary
+    print(render_chaos_report(report))
+    _print_summary(summary)
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(
+                chaos_report_to_dict(report), indent=2, sort_keys=True
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"chaos report written to {args.out}")
     _emit_metrics(args, executor)
     return 0
 
@@ -503,7 +651,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if getattr(args, "bench_command", None) == "compare":
         return _cmd_bench_compare(args)
-    matrix = BenchMatrix.pinned(args.scale)
+    matrix = BenchMatrix.pinned(
+        args.scale,
+        fault_intensity=args.fault_intensity,
+        fault_seed=args.fault_seed,
+    )
     document = run_bench(
         matrix,
         label=args.label or args.scale,
@@ -570,6 +722,7 @@ _COMMANDS = {
     "gantt": _cmd_gantt,
     "describe": _cmd_describe,
     "sweep": _cmd_sweep,
+    "chaos": _cmd_chaos,
     "bench": _cmd_bench,
     "report": _cmd_report,
     "lint": run_lint,

@@ -11,7 +11,7 @@ is modelled as two physical links, one per direction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core import units
 from repro.core.intervals import Interval
@@ -76,12 +76,19 @@ class VirtualLink:
         """The availability window ``[Lst, Let)`` as an interval."""
         return Interval(self.start, self.end)
 
-    def transfer_seconds(self, size_bytes: float) -> float:
+    def transfer_seconds(
+        self, size_bytes: float, bandwidth: Optional[float] = None
+    ) -> float:
         """Communication time ``D`` for a data item of the given size.
 
-        This is transmission time plus the link's fixed latency.
+        This is transmission time plus the link's fixed latency.  An
+        explicit ``bandwidth`` overrides the link's nominal rate — the
+        hook fault injection uses to price transfers on a degraded link
+        (see :mod:`repro.faults`); everything downstream of the duration
+        (window fitting, exclusivity, validation) is rate-agnostic.
         """
-        return units.transfer_seconds(size_bytes, self.bandwidth) + self.latency
+        rate = self.bandwidth if bandwidth is None else bandwidth
+        return units.transfer_seconds(size_bytes, rate) + self.latency
 
     def can_ever_carry(self, size_bytes: float) -> bool:
         """True if an item of this size fits in the window at all."""

@@ -47,6 +47,8 @@ from repro.observability.tracer import (
     current_tracer,
 )
 from repro.observability.profiling import PHASE_GC, span
+from repro.faults.context import current_faults
+from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -110,12 +112,25 @@ class NetworkState:
         scenario: Scenario,
         schedule_name: str = "",
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self._scenario = scenario
         # The ambient tracer is captured once at construction; the default
         # NullTracer keeps every event site down to one branch.
         self._tracer = tracer if tracer is not None else current_tracer()
+        # Likewise the ambient fault plan (repro.faults.use_faults); an
+        # empty plan normalizes to None so the healthy path is untouched.
+        plan = faults if faults is not None else current_faults()
+        if plan is not None and plan.is_empty():
+            plan = None
+        self._faults = plan
         network = scenario.network
+        # Per-virtual-link delivered bandwidth; equals the nominal rate
+        # unless a fault plan degrades the owning physical link.  Immutable
+        # after construction, so clones share the list.
+        self._effective_bandwidth: List[float] = [
+            link.bandwidth for link in network.virtual_links
+        ]
         self._busy: List[IntervalSet] = [
             IntervalSet() for _ in network.virtual_links
         ]
@@ -164,6 +179,36 @@ class NetworkState:
                 for request in scenario.requests_for_item(item.item_id):
                     row[request.destination] = scenario.horizon
                 self._release_matrix.append(row)
+        if self._faults is not None:
+            self._apply_faults(self._faults)
+
+    def _apply_faults(self, plan: FaultPlan) -> None:
+        """Mask outage windows and degrade bandwidth per the fault plan.
+
+        Outages become pre-booked busy intervals on every virtual link of
+        the affected physical link, so schedulers route around them with
+        the same interval machinery that handles contention; degradations
+        lower the link's entry in ``_effective_bandwidth``, lengthening
+        every duration computed from it.  Only the static (capacity)
+        faults apply here — churn is replayed by the dynamic driver.
+        """
+        plan.check_against(self._scenario)
+        masked = 0
+        degraded = 0
+        for link in self._scenario.network.virtual_links:
+            factor = plan.bandwidth_factor(link.physical_id)
+            if factor < 1.0:
+                self._effective_bandwidth[link.link_id] = (
+                    link.bandwidth * factor
+                )
+                degraded += 1
+            for outage in plan.outage_intervals(link.physical_id):
+                clipped = outage.intersection(link.window)
+                if clipped is not None and not clipped.is_empty():
+                    self._busy[link.link_id].add(clipped)
+                    masked += 1
+        if self._tracer.enabled:
+            self._tracer.on_faults_applied(masked, degraded)
 
     def clone(self) -> "NetworkState":
         """An independent deep copy (used by exhaustive search).
@@ -177,6 +222,9 @@ class NetworkState:
         clone = NetworkState.__new__(NetworkState)
         clone._scenario = self._scenario
         clone._tracer = self._tracer
+        clone._faults = self._faults
+        # Effective bandwidth is immutable after construction — shared.
+        clone._effective_bandwidth = self._effective_bandwidth
         clone._busy = [busy.copy() for busy in self._busy]
         clone._timelines = [timeline.copy() for timeline in self._timelines]
         clone._copies = [dict(copies) for copies in self._copies]
@@ -214,6 +262,24 @@ class NetworkState:
     def tracer(self) -> Tracer:
         """The tracer observing this state (NullTracer when disabled)."""
         return self._tracer
+
+    @property
+    def faults(self) -> Optional[FaultPlan]:
+        """The applied fault plan, or ``None`` for a healthy state."""
+        return self._faults
+
+    def effective_bandwidth(self, link_id: int) -> float:
+        """Delivered bandwidth of a virtual link (nominal unless degraded)."""
+        return self._effective_bandwidth[link_id]
+
+    def effective_bandwidths(self) -> List[float]:
+        """Per-link delivered bandwidth, indexed by ``link_id``.
+
+        The routing layer's relaxation loop indexes this list directly on
+        its hot path instead of calling :meth:`effective_bandwidth` per
+        edge.  Live object — do not mutate.
+        """
+        return self._effective_bandwidth
 
     def copies(self, item_id: int) -> Dict[int, CopyRecord]:
         """Current copies of an item, keyed by machine (snapshot)."""
@@ -328,7 +394,9 @@ class NetworkState:
             return None
         item = self._scenario.item(item_id)
         if duration is None:
-            duration = link.transfer_seconds(item.size)
+            duration = link.transfer_seconds(
+                item.size, self._effective_bandwidth[link.link_id]
+            )
         release = self._release_matrix[item_id][link.destination]
         sender_release = self._release_matrix[item_id][link.source]
         # Completion must respect the window (clipped by any dynamic

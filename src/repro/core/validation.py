@@ -27,13 +27,14 @@ Checks performed:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.intervals import Interval, IntervalSet
 from repro.core.schedule import Schedule
 from repro.core.scenario import Scenario
 from repro.core.timeline import CapacityTimeline
 from repro.errors import CapacityError, ValidationError
+from repro.faults.plan import FaultPlan
 
 #: Absolute slack for floating-point time comparisons.  The schedulers and
 #: the validator compute durations through the same arithmetic, so any real
@@ -42,10 +43,30 @@ TIME_EPSILON = 1e-6
 
 
 class ScheduleValidator:
-    """Replays and checks one schedule against one scenario."""
+    """Replays and checks one schedule against one scenario.
 
-    def __init__(self, scenario: Scenario) -> None:
+    Args:
+        scenario: the scenario the schedule claims to serve.
+        faults: optional static fault plan the schedule was produced
+            under.  When given, two extra constraints apply: transfers
+            must not overlap an outage window of their link's physical
+            facility, and durations on degraded links must match the
+            *degraded* communication time (check 2 uses the reduced
+            bandwidth).  Churn events are a dynamic-driver concern and
+            are ignored here.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self._scenario = scenario
+        if faults is not None:
+            faults.check_against(scenario)
+            if faults.is_empty():
+                faults = None
+        self._faults = faults
 
     def validate(self, schedule: Schedule) -> None:
         """Raise :class:`ValidationError` on the first violated constraint.
@@ -78,7 +99,7 @@ class ScheduleValidator:
         for step in schedule.steps:
             link = self._check_link(step)
             item = scenario.item(step.item_id)
-            duration = link.transfer_seconds(item.size)
+            duration = self._expected_duration(link, item)
             if abs(step.duration - duration) > TIME_EPSILON:
                 raise ValidationError(
                     f"{step}: duration {step.duration} does not match the "
@@ -89,6 +110,7 @@ class ScheduleValidator:
                 raise ValidationError(
                     f"{step}: transfer escapes link window {link.window!r}"
                 )
+            self._check_outages(step, link, transfer)
             link_busy = busy.setdefault(link.link_id, IntervalSet())
             if not link_busy.is_free(transfer):
                 raise ValidationError(
@@ -153,6 +175,27 @@ class ScheduleValidator:
                 )
 
         self._check_deliveries(schedule, expected_deliveries)
+
+    def _expected_duration(self, link, item) -> float:
+        """The link's communication time, honoring degraded bandwidth."""
+        if self._faults is not None:
+            factor = self._faults.bandwidth_factor(link.physical_id)
+            if factor < 1.0:
+                return link.transfer_seconds(
+                    item.size, link.bandwidth * factor
+                )
+        return link.transfer_seconds(item.size)
+
+    def _check_outages(self, step, link, transfer: Interval) -> None:
+        """Reject transfers overlapping an outage of the link's facility."""
+        if self._faults is None:
+            return
+        for outage in self._faults.outage_intervals(link.physical_id):
+            if transfer.start < outage.end and outage.start < transfer.end:
+                raise ValidationError(
+                    f"{step}: transfer overlaps outage window {outage!r} "
+                    f"of physical link {link.physical_id}"
+                )
 
     def _check_link(self, step):
         network = self._scenario.network

@@ -12,6 +12,7 @@ from repro.dynamic.events import (
     Event,
     LinkOutage,
     RequestArrival,
+    RequestCancellation,
     sorted_events,
 )
 
@@ -23,6 +24,7 @@ __all__ = [
     "LinkOutage",
     "EventOutcome",
     "RequestArrival",
+    "RequestCancellation",
     "reveal_at_item_start",
     "sorted_events",
 ]

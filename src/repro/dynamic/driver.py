@@ -43,6 +43,7 @@ from repro.dynamic.events import (
     Event,
     LinkOutage,
     RequestArrival,
+    RequestCancellation,
     sorted_events,
 )
 from repro.errors import ModelError
@@ -63,6 +64,7 @@ class EventOutcome:
         reopened: previously satisfied request ids reopened by the losses.
         hops_booked: transfers booked by the pass.
         outages: physical link ids failing at this instant.
+        cancelled: request ids withdrawn at this instant (churn).
     """
 
     time: float
@@ -71,6 +73,7 @@ class EventOutcome:
     reopened: Tuple[int, ...]
     hops_booked: int
     outages: Tuple[int, ...] = ()
+    cancelled: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -149,6 +152,7 @@ class DynamicDriver:
             for request in scenario.requests
             if request.request_id not in arrival_times
         }
+        withdrawn: Set[int] = set()
         outcomes: List[EventOutcome] = []
 
         # Pass 0: everything known at the start.
@@ -166,14 +170,28 @@ class DynamicDriver:
             losses: List[Tuple[int, int]] = []
             reopened: List[int] = []
             outages: List[int] = []
+            cancelled: List[int] = []
             while index < len(ordered) and time_eq(ordered[index].time, now):
                 event = ordered[index]
                 if isinstance(event, RequestArrival):
-                    revealed.add(event.request_id)
-                    newly_revealed.append(event.request_id)
+                    # A cancellation that precedes the arrival (or shares
+                    # its instant — arrivals sort first) suppresses it.
+                    if event.request_id not in withdrawn:
+                        revealed.add(event.request_id)
+                        newly_revealed.append(event.request_id)
                 elif isinstance(event, LinkOutage):
                     self._apply_outage(state, event)
                     outages.append(event.physical_id)
+                elif isinstance(event, RequestCancellation):
+                    # Deliveries that already happened stand; an
+                    # undelivered request simply stops being scheduled.
+                    withdrawn.add(event.request_id)
+                    revealed.discard(event.request_id)
+                    cancelled.append(event.request_id)
+                    if state.tracer.enabled:
+                        state.tracer.on_request_cancelled(
+                            event.request_id, event.time
+                        )
                 else:
                     reopened.extend(
                         self._apply_loss(state, event)
@@ -190,6 +208,7 @@ class DynamicDriver:
                     losses=tuple(losses),
                     reopened=tuple(reopened),
                     outages=tuple(outages),
+                    cancelled=tuple(cancelled),
                 )
             )
         stats.elapsed_seconds = time.perf_counter() - started
@@ -215,6 +234,7 @@ class DynamicDriver:
         losses: Tuple[Tuple[int, int], ...],
         reopened: Tuple[int, ...],
         outages: Tuple[int, ...] = (),
+        cancelled: Tuple[int, ...] = (),
     ) -> EventOutcome:
         visible = frozenset(revealed)
 
@@ -244,6 +264,7 @@ class DynamicDriver:
             reopened=reopened,
             hops_booked=stats.hops_booked - before,
             outages=outages,
+            cancelled=cancelled,
         )
 
     @staticmethod
@@ -281,6 +302,7 @@ class DynamicDriver:
         scenario: Scenario, events: Sequence[Event]
     ) -> None:
         seen_arrivals: Set[int] = set()
+        seen_cancellations: Set[int] = set()
         for event in events:
             if isinstance(event, RequestArrival):
                 scenario.request(event.request_id)  # raises on unknown ids
@@ -306,6 +328,14 @@ class DynamicDriver:
                         f"outage event references unknown physical link "
                         f"{event.physical_id}"
                     )
+            elif isinstance(event, RequestCancellation):
+                scenario.request(event.request_id)
+                if event.request_id in seen_cancellations:
+                    raise ModelError(
+                        f"request {event.request_id} has two cancellation "
+                        f"events"
+                    )
+                seen_cancellations.add(event.request_id)
             else:  # pragma: no cover - typing guard
                 raise ModelError(f"unknown event type: {event!r}")
 

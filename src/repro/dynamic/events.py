@@ -10,7 +10,10 @@ the dynamic driver simulates:
   include only those known at any specific time instant" in §3);
 * :class:`CopyLoss` — a machine loses its resident copy of an item (a
   link/storage failure, the §4.4 motivation for holding intermediate
-  copies γ past the latest deadline).
+  copies γ past the latest deadline);
+* :class:`RequestCancellation` — a request is withdrawn before its
+  deadline (churn injected by :mod:`repro.faults` plans: the user no
+  longer wants the data, so capacity spent on it is wasted).
 """
 
 from __future__ import annotations
@@ -84,7 +87,31 @@ class LinkOutage:
             )
 
 
-Event = Union[RequestArrival, CopyLoss, LinkOutage]
+@dataclass(frozen=True)
+class RequestCancellation:
+    """A request is withdrawn at ``time`` and stops being scheduled.
+
+    A delivery that already happened stands (the data arrived before the
+    user changed their mind); an undelivered cancelled request is removed
+    from the visible set and never counts as satisfied.  A cancellation
+    before the request's arrival event suppresses the later reveal.
+
+    Attributes:
+        time: withdrawal instant (seconds).
+        request_id: the scenario request being withdrawn.
+    """
+
+    time: float
+    request_id: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ModelError(
+                f"cancellation event time must be >= 0, got {self.time}"
+            )
+
+
+Event = Union[RequestArrival, CopyLoss, LinkOutage, RequestCancellation]
 
 
 def sorted_events(events) -> Tuple[Event, ...]:

@@ -31,7 +31,13 @@ import json
 import logging
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -41,6 +47,8 @@ from repro.cost.criteria import CostCriterion, get_criterion
 from repro.cost.weights import EUWeights, as_weights
 from repro.errors import ConfigurationError
 from repro.experiments.runner import RunRecord, run_pair, run_scheduler
+from repro.faults.context import use_faults
+from repro.faults.plan import FaultPlan
 from repro.observability.metrics import (
     MetricsCollector,
     RunMetrics,
@@ -53,6 +61,9 @@ from repro.observability.profiling import (
 )
 from repro.observability.tracer import TeeTracer, current_tracer, use_tracer
 from repro.serialization import (
+    fault_plan_fingerprint,
+    fault_plan_from_dict,
+    fault_plan_to_dict,
     run_record_from_dict,
     run_record_to_dict,
     scenario_fingerprint,
@@ -65,10 +76,28 @@ logger = logging.getLogger(__name__)
 #: Version stamp of the cache entry layout; bump to invalidate old caches.
 #: Version 2: cached records may carry an embedded ``metrics`` aggregate.
 #: Version 3: cached records may carry an embedded span ``profile``.
-CACHE_FORMAT_VERSION = 3
+#: Version 4: the cell identity includes the fault-plan fingerprint.
+CACHE_FORMAT_VERSION = 4
 
 #: The cell kinds an executor knows how to run.
 CELL_KINDS = ("pair", "tier")
+
+#: How many times a cell is re-submitted after a *transient* worker
+#: failure (a broken pool, a pipe/OS error) before the failure is raised.
+MAX_TRANSIENT_RETRIES = 2
+
+#: Base of the deterministic linear backoff between retries (seconds).
+RETRY_BACKOFF_SECONDS = 0.05
+
+#: Exception types treated as transient infrastructure failures.  A
+#: scheduler bug raises its own (deterministic) exception type and is
+#: *never* retried — retrying would just fail again and mask the bug.
+TRANSIENT_EXCEPTIONS = (BrokenExecutor, OSError, EOFError)
+
+
+def retry_backoff_seconds(attempt: int) -> float:
+    """Deterministic backoff before retry ``attempt`` (1-based)."""
+    return RETRY_BACKOFF_SECONDS * attempt
 
 
 @dataclass(frozen=True)
@@ -85,6 +114,11 @@ class SweepCell:
         kind: ``"pair"`` runs the plain heuristic/criterion pair;
             ``"tier"`` wraps it in the §5.4
             :class:`~repro.baselines.priority_tier.PriorityTierScheduler`.
+        faults: optional static fault plan applied to the run (outages and
+            bandwidth degradation; see :mod:`repro.faults`).  Part of the
+            cell's cache identity.  Churn-bearing plans are rejected —
+            cancellations and late arrivals only make sense under the
+            dynamic driver, not a single offline schedule.
     """
 
     scenario: Scenario
@@ -92,12 +126,25 @@ class SweepCell:
     criterion: Union[str, CostCriterion]
     weights: EUWeights
     kind: str = "pair"
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.kind not in CELL_KINDS:
             raise ConfigurationError(
                 f"unknown cell kind {self.kind!r}; known: {CELL_KINDS}"
             )
+        if self.faults is not None and self.faults.has_churn():
+            raise ConfigurationError(
+                "sweep cells take static fault plans only (outages, "
+                "degradation); churn faults need the dynamic driver — "
+                "use FaultPlan.static_only() to strip them"
+            )
+
+    def effective_faults(self) -> Optional[FaultPlan]:
+        """The cell's fault plan, with the empty plan normalized to None."""
+        if self.faults is None or self.faults.is_empty():
+            return None
+        return self.faults
 
     def criterion_name(self) -> str:
         """The criterion's registry name."""
@@ -139,7 +186,25 @@ def _run_cell(
     :class:`~repro.observability.profiling.ProfileCollector`; the
     finalized aggregates ride back on the record (they cross process
     boundaries as part of the record's serialization dict).
+
+    A cell carrying a (non-empty) fault plan runs inside ``use_faults``
+    so the scheduler's :class:`~repro.core.state.NetworkState` picks the
+    plan up ambiently; an empty or absent plan takes the exact healthy
+    code path (pinned byte-identical by a property test).
     """
+    plan = cell.effective_faults()
+    if plan is not None:
+        with use_faults(plan):
+            return _run_observed_cell(cell, collect_metrics, collect_profile)
+    return _run_observed_cell(cell, collect_metrics, collect_profile)
+
+
+def _run_observed_cell(
+    cell: SweepCell,
+    collect_metrics: bool,
+    collect_profile: bool,
+) -> RunRecord:
+    """The observability-sink half of :func:`_run_cell`."""
     if not collect_metrics and not collect_profile:
         return _dispatch_cell(cell)
     metrics = MetricsCollector() if collect_metrics else None
@@ -162,16 +227,29 @@ def _run_cell(
     )
 
 
-def _execute_payload(
-    payload: Tuple[
-        int, Dict[str, Any], str, str, float, float, str, bool, bool
-    ],
-) -> Tuple[int, Dict[str, Any]]:
+#: The serialized cell crossing the process boundary (see
+#: :func:`_execute_payload`).
+_CellPayload = Tuple[
+    int,
+    Dict[str, Any],
+    str,
+    str,
+    float,
+    float,
+    str,
+    bool,
+    bool,
+    Optional[Dict[str, Any]],
+]
+
+
+def _execute_payload(payload: _CellPayload) -> Tuple[int, Dict[str, Any]]:
     """Worker-side execution of one serialized cell.
 
-    The scenario crosses the process boundary as its serialization dict
-    (guaranteed picklable; the test suite pins that a round-tripped
-    scenario schedules identically), and the record returns the same way.
+    The scenario (and any fault plan) crosses the process boundary as its
+    serialization dict (guaranteed picklable; the test suite pins that a
+    round-tripped scenario schedules identically), and the record returns
+    the same way.
     """
     (
         index,
@@ -183,6 +261,7 @@ def _execute_payload(
         kind,
         collect_metrics,
         collect_profile,
+        faults_doc,
     ) = payload
     cell = SweepCell(
         scenario=scenario_from_dict(scenario_doc),
@@ -190,6 +269,11 @@ def _execute_payload(
         criterion=criterion,
         weights=EUWeights(effective=effective, urgency=urgency),
         kind=kind,
+        faults=(
+            fault_plan_from_dict(faults_doc)
+            if faults_doc is not None
+            else None
+        ),
     )
     return index, run_record_to_dict(
         _run_cell(cell, collect_metrics, collect_profile)
@@ -207,6 +291,8 @@ class SweepSummary:
         wall_seconds: wall-clock duration of the call.
         scheduled_seconds: summed scheduler time the returned records
             represent (cached records contribute their original timing).
+        retries: transient worker failures survived by re-submission.
+        quarantined: corrupted cache entries renamed aside and recomputed.
     """
 
     cells: int
@@ -214,6 +300,8 @@ class SweepSummary:
     cache_hits: int
     wall_seconds: float
     scheduled_seconds: float
+    retries: int = 0
+    quarantined: int = 0
 
     @property
     def speedup(self) -> float:
@@ -221,6 +309,16 @@ class SweepSummary:
         if self.wall_seconds <= 0.0:
             return 0.0
         return self.scheduled_seconds / self.wall_seconds
+
+    @property
+    def degraded(self) -> bool:
+        """True when the call survived faults (retries or quarantines).
+
+        A degraded call still returned a complete, correct record list —
+        this flag only marks that the run report should mention the
+        recoveries (the CLI's degraded-mode summary).
+        """
+        return self.retries > 0 or self.quarantined > 0
 
 
 @dataclass
@@ -233,6 +331,8 @@ class ExecutorStats:
         cache_errors: cache entries dropped as unreadable.
         wall_seconds: total wall-clock time spent in ``run_cells``.
         scheduled_seconds: total scheduler time represented.
+        retries: transient worker failures survived by re-submission.
+        quarantined: corrupted cache entries quarantined and recomputed.
     """
 
     computed: int = 0
@@ -240,6 +340,8 @@ class ExecutorStats:
     cache_errors: int = 0
     wall_seconds: float = 0.0
     scheduled_seconds: float = 0.0
+    retries: int = 0
+    quarantined: int = 0
 
     def note(self, summary: SweepSummary) -> None:
         """Fold one call's summary into the running totals."""
@@ -247,6 +349,8 @@ class ExecutorStats:
         self.cache_hits += summary.cache_hits
         self.wall_seconds += summary.wall_seconds
         self.scheduled_seconds += summary.scheduled_seconds
+        self.retries += summary.retries
+        self.quarantined += summary.quarantined
 
 
 class RunCache:
@@ -262,9 +366,12 @@ class RunCache:
 
     The scenario fingerprint covers *all* scenario content — including
     the garbage-collection delay γ and the scheduling horizon — so
-    perturbing either invalidates every affected entry.  Dynamic-only
-    state (link outages, copy losses) never enters a
-    :class:`SweepCell` and is therefore out of scope for this cache.
+    perturbing either invalidates every affected entry.  A cell carrying
+    a static fault plan keys on the plan's content fingerprint too (the
+    empty plan normalizes to the same key as no plan), so faulted and
+    healthy runs never shadow each other.  Dynamic-only events
+    (copy losses, churn) never enter a :class:`SweepCell` and are
+    therefore out of scope for this cache.
 
     Args:
         directory: cache root; created on first use.
@@ -273,6 +380,7 @@ class RunCache:
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.errors = 0
+        self.quarantined = 0
 
     def key_for(
         self,
@@ -294,6 +402,7 @@ class RunCache:
             if fingerprints is not None:
                 fingerprints[id(scenario)] = fingerprint
         criterion = cell.resolved_criterion()
+        plan = cell.effective_faults()
         identity = {
             "cache_format": CACHE_FORMAT_VERSION,
             "scenario": fingerprint,
@@ -301,6 +410,7 @@ class RunCache:
             "criterion": cell.criterion_name(),
             "weights": "-" if criterion.eu_independent else cell.weights.label(),
             "kind": cell.kind,
+            "faults": "-" if plan is None else fault_plan_fingerprint(plan),
         }
         text = json.dumps(identity, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -312,9 +422,11 @@ class RunCache:
         """The cached record under ``key``, or ``None``.
 
         A present-but-unreadable entry (truncated file, invalid JSON,
-        missing fields, wrong kind) is treated as a miss: a warning is
-        logged, the error counted, and the caller recomputes (and
-        overwrites the entry).
+        missing fields, wrong kind) is treated as a miss: the file is
+        *quarantined* — renamed to ``<name>.quarantined`` so the corrupt
+        bytes stay available for forensics instead of being silently
+        overwritten — a warning is logged, a ``cache_quarantined`` tracer
+        event emitted, and the caller recomputes (writing a fresh entry).
         """
         path = self._path(key)
         if not path.exists():
@@ -328,17 +440,31 @@ class RunCache:
             return run_record_from_dict(document["record"])
         except Exception as exc:  # noqa: BLE001 - any corruption => miss
             self.errors += 1
+            self.quarantined += 1
+            quarantine = path.with_name(f"{path.name}.quarantined")
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                # Rename failed (exotic filesystem): recomputing will
+                # overwrite the entry in place instead.
+                quarantine = path
             logger.warning(
-                "run cache entry %s is unreadable (%s); recomputing",
+                "run cache entry %s is unreadable (%s); quarantined as %s, "
+                "recomputing",
                 path,
                 exc,
+                quarantine.name,
             )
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.on_cache_quarantined(str(quarantine))
             return None
 
     def store(self, key: str, cell: SweepCell, record: RunRecord) -> None:
         """Persist ``record`` under ``key`` (atomic rename, compact JSON)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        plan = cell.effective_faults()
         document = {
             "format_version": CACHE_FORMAT_VERSION,
             "kind": "run_cache_entry",
@@ -346,6 +472,7 @@ class RunCache:
             "heuristic": cell.heuristic,
             "criterion": cell.criterion_name(),
             "cell_kind": cell.kind,
+            "faults": None if plan is None else fault_plan_to_dict(plan),
             "record": run_record_to_dict(
                 dataclasses.replace(record, cache_hit=False)
             ),
@@ -469,6 +596,9 @@ class SweepExecutor:
         keys: List[Optional[str]] = [None] * len(cells)
         fingerprints: Dict[int, str] = {}
         pending: List[int] = []
+        quarantined_before = (
+            self.cache.quarantined if self.cache is not None else 0
+        )
         for index, cell in enumerate(cells):
             if self.cache is not None:
                 keys[index] = self.cache.key_for(cell, fingerprints)
@@ -479,42 +609,16 @@ class SweepExecutor:
                     )
                     continue
             pending.append(index)
+        retries = 0
         if pending:
             if self.workers == 1 or len(pending) == 1:
                 for index in pending:
-                    records[index] = _run_cell(
-                        cells[index],
-                        collect_metrics=self.metrics,
-                        collect_profile=self.profile,
+                    records[index], attempts = self._compute_serial(
+                        index, cells[index]
                     )
+                    retries += attempts
             else:
-                payloads = [
-                    (
-                        index,
-                        scenario_to_dict(cells[index].scenario),
-                        cells[index].heuristic,
-                        cells[index].criterion_name(),
-                        cells[index].weights.effective,
-                        cells[index].weights.urgency,
-                        cells[index].kind,
-                        self.metrics,
-                        self.profile,
-                    )
-                    for index in pending
-                ]
-                pool = self._ensure_pool()
-                try:
-                    for index, document in pool.map(
-                        _execute_payload, payloads
-                    ):
-                        records[index] = run_record_from_dict(document)
-                except BaseException:
-                    # A worker raised (or the pool broke): tear the pool
-                    # down — cancelling cells not yet started — so the
-                    # next call starts fresh and no processes leak even
-                    # without a ``with`` block.
-                    self._shutdown_pool(cancel=True)
-                    raise
+                retries = self._compute_parallel(cells, pending, records)
             if self.cache is not None:
                 for index in pending:
                     self.cache.store(
@@ -528,22 +632,162 @@ class SweepExecutor:
             cache_hits=len(cells) - len(pending),
             wall_seconds=wall,
             scheduled_seconds=sum(r.elapsed_seconds for r in records),
+            retries=retries,
+            quarantined=(
+                self.cache.quarantined - quarantined_before
+                if self.cache is not None
+                else 0
+            ),
         )
         self.stats.note(summary)
         if self.cache is not None:
             self.stats.cache_errors = self.cache.errors
         self.last_summary = summary
+        degraded_note = (
+            f", degraded mode: {summary.retries} retries, "
+            f"{summary.quarantined} quarantined cache entries"
+            if summary.degraded
+            else ""
+        )
         logger.info(
             "sweep: %d cells (%d computed, %d cached) in %.2fs wall, "
-            "%.2fs scheduled, speedup %.1fx",
+            "%.2fs scheduled, speedup %.1fx%s",
             summary.cells,
             summary.computed,
             summary.cache_hits,
             summary.wall_seconds,
             summary.scheduled_seconds,
             summary.speedup,
+            degraded_note,
         )
         return records
+
+    def _compute_serial(
+        self, index: int, cell: SweepCell
+    ) -> Tuple[RunRecord, int]:
+        """Run one cell in-process, retrying transient failures.
+
+        Returns the record plus the number of retries spent on it.
+        Deterministic scheduler exceptions propagate on first raise —
+        only infrastructure errors (:data:`TRANSIENT_EXCEPTIONS`) are
+        retried, at most :data:`MAX_TRANSIENT_RETRIES` times with
+        :func:`retry_backoff_seconds` sleeps between attempts.
+        """
+        attempt = 0
+        while True:
+            try:
+                record = _run_cell(
+                    cell,
+                    collect_metrics=self.metrics,
+                    collect_profile=self.profile,
+                )
+                return record, attempt
+            except TRANSIENT_EXCEPTIONS as exc:
+                attempt += 1
+                if attempt > MAX_TRANSIENT_RETRIES:
+                    raise
+                self._note_retry(index, attempt, exc)
+                time.sleep(retry_backoff_seconds(attempt))
+
+    def _compute_parallel(
+        self,
+        cells: Sequence[SweepCell],
+        pending: Sequence[int],
+        records: List[Optional[RunRecord]],
+    ) -> int:
+        """Fan pending cells out over the pool, retrying transient failures.
+
+        Each pending cell is submitted as its own future; a future failing
+        with a :data:`TRANSIENT_EXCEPTIONS` member (typically a
+        :class:`~concurrent.futures.process.BrokenProcessPool` after a
+        worker died) is re-submitted — onto a fresh pool when the old one
+        broke — up to :data:`MAX_TRANSIENT_RETRIES` times per cell.  Any
+        other exception (a deterministic scheduler bug) tears the pool
+        down and propagates immediately, exactly like the pre-retry
+        behavior.  Returns the total retry count.
+        """
+        payloads: Dict[int, _CellPayload] = {
+            index: (
+                index,
+                scenario_to_dict(cells[index].scenario),
+                cells[index].heuristic,
+                cells[index].criterion_name(),
+                cells[index].weights.effective,
+                cells[index].weights.urgency,
+                cells[index].kind,
+                self.metrics,
+                self.profile,
+                (
+                    fault_plan_to_dict(plan)
+                    if (plan := cells[index].effective_faults()) is not None
+                    else None
+                ),
+            )
+            for index in pending
+        }
+        retries = 0
+        attempts: Dict[int, int] = {}
+        try:
+            waiting: Dict[Future[Tuple[int, Dict[str, Any]]], int] = {
+                self._submit(payloads[index]): index for index in pending
+            }
+            while waiting:
+                done, _ = wait(set(waiting), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = waiting.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        cell_index, document = future.result()
+                        records[cell_index] = run_record_from_dict(document)
+                        continue
+                    attempt = attempts.get(index, 0) + 1
+                    if (
+                        not isinstance(error, TRANSIENT_EXCEPTIONS)
+                        or attempt > MAX_TRANSIENT_RETRIES
+                    ):
+                        raise error
+                    attempts[index] = attempt
+                    retries += 1
+                    self._note_retry(index, attempt, error)
+                    time.sleep(retry_backoff_seconds(attempt))
+                    waiting[self._submit(payloads[index])] = index
+        except BaseException:
+            # A worker raised (or the pool broke beyond retry): tear the
+            # pool down — cancelling cells not yet started — so the next
+            # call starts fresh and no processes leak even without a
+            # ``with`` block.
+            self._shutdown_pool(cancel=True)
+            raise
+        return retries
+
+    def _submit(
+        self, payload: _CellPayload
+    ) -> Future[Tuple[int, Dict[str, Any]]]:
+        """Submit one payload, replacing the pool if it broke."""
+        pool = self._ensure_pool()
+        try:
+            return pool.submit(_execute_payload, payload)
+        except BrokenExecutor:
+            self._shutdown_pool(cancel=True)
+            return self._ensure_pool().submit(_execute_payload, payload)
+
+    def _note_retry(
+        self, index: int, attempt: int, error: BaseException
+    ) -> None:
+        """Log and trace one transient-failure retry."""
+        logger.warning(
+            "cell %d hit a transient failure (%s: %s); retry %d/%d after "
+            "%.2fs backoff",
+            index,
+            type(error).__name__,
+            error,
+            attempt,
+            MAX_TRANSIENT_RETRIES,
+            retry_backoff_seconds(attempt),
+        )
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.on_cell_retry(index, attempt, type(error).__name__)
 
     def _note_cell_metrics(self, records: Sequence[RunRecord]) -> None:
         """Fold finished records into the metric sinks.

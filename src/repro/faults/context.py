@@ -1,0 +1,38 @@
+"""Ambient fault-plan context, mirroring the tracer's ``use_tracer``.
+
+Deeply nested construction sites (``NetworkState`` built inside a
+heuristic inside an executor worker) pick up the active plan without
+every intermediate layer threading a parameter:
+
+    with use_faults(plan):
+        result = make_heuristic("partial", "C4", 2.0).run(scenario)
+
+``NetworkState`` captures :func:`current_faults` at construction, exactly
+as it captures the ambient tracer, so clones made mid-run keep the plan
+even after the ``with`` block exits.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.faults.plan import FaultPlan
+
+#: Stack of active plans; the top (last) entry is the current one.
+_current: List[Optional[FaultPlan]] = [None]
+
+
+def current_faults() -> Optional[FaultPlan]:
+    """The innermost active fault plan, or ``None`` outside ``use_faults``."""
+    return _current[-1]
+
+
+@contextmanager
+def use_faults(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Install ``plan`` as the ambient fault plan for the ``with`` body."""
+    _current.append(plan)
+    try:
+        yield plan
+    finally:
+        _current.pop()

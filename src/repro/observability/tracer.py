@@ -27,6 +27,10 @@ on_run_end            one finished heuristic run
 on_cell               one executor grid cell (run-cache hit or computed)
 on_span_start         ``repro.observability.profiling.span`` entry
 on_span_end           ``span`` exit (wall + CPU duration, exception-safe)
+on_faults_applied     ``NetworkState`` applied a fault plan at construction
+on_request_cancelled  dynamic driver withdrew a request (churn fault)
+on_cell_retry         executor retried a cell after a transient failure
+on_cache_quarantined  executor quarantined a corrupted run-cache record
 ====================  =====================================================
 """
 
@@ -85,6 +89,10 @@ EVENT_NAMES: Tuple[str, ...] = (
     "cell",
     "span_start",
     "span_end",
+    "faults_applied",
+    "request_cancelled",
+    "cell_retry",
+    "cache_quarantined",
 )
 
 #: All reason codes a rejection/failure event may carry.
@@ -211,6 +219,29 @@ class Tracer:
         self, name: str, wall_seconds: float, cpu_seconds: float
     ) -> None:
         """The matching profiling span closed (wall + CPU duration)."""
+
+    # -- fault injection and robustness -----------------------------------
+
+    def on_faults_applied(
+        self, masked_windows: int, degraded_links: int
+    ) -> None:
+        """A :class:`~repro.faults.plan.FaultPlan` was applied to a state.
+
+        ``masked_windows`` counts the busy intervals pre-booked by outage
+        windows (one per affected virtual link window); ``degraded_links``
+        counts virtual links running below nominal bandwidth.
+        """
+
+    def on_request_cancelled(self, request_id: int, at_time: float) -> None:
+        """The dynamic driver withdrew a request (cancellation churn)."""
+
+    def on_cell_retry(self, index: int, attempt: int, error: str) -> None:
+        """The executor is retrying cell ``index`` after a transient
+        worker failure (``error`` is the exception class name)."""
+
+    def on_cache_quarantined(self, path: str) -> None:
+        """A corrupted run-cache record was renamed aside and will be
+        recomputed (``path`` is the quarantined file)."""
 
 
 def _inherit_hook_docs(cls: type) -> type:
@@ -416,6 +447,26 @@ class _EventTracer(Tracer):
             cpu_seconds=cpu_seconds,
         )
 
+    def on_faults_applied(
+        self, masked_windows: int, degraded_links: int
+    ) -> None:
+        self._event(
+            "faults_applied",
+            masked_windows=masked_windows,
+            degraded_links=degraded_links,
+        )
+
+    def on_request_cancelled(self, request_id: int, at_time: float) -> None:
+        self._event(
+            "request_cancelled", request_id=request_id, at_time=at_time
+        )
+
+    def on_cell_retry(self, index: int, attempt: int, error: str) -> None:
+        self._event("cell_retry", index=index, attempt=attempt, error=error)
+
+    def on_cache_quarantined(self, path: str) -> None:
+        self._event("cache_quarantined", path=path)
+
 
 class RecordingTracer(_EventTracer):
     """Materializes every event as a :class:`TraceEvent` in memory.
@@ -568,3 +619,15 @@ class TeeTracer(Tracer):
 
     def on_span_end(self, *args: Any) -> None:
         self._fan_out("on_span_end", *args)
+
+    def on_faults_applied(self, *args: Any) -> None:
+        self._fan_out("on_faults_applied", *args)
+
+    def on_request_cancelled(self, *args: Any) -> None:
+        self._fan_out("on_request_cancelled", *args)
+
+    def on_cell_retry(self, *args: Any) -> None:
+        self._fan_out("on_cell_retry", *args)
+
+    def on_cache_quarantined(self, *args: Any) -> None:
+        self._fan_out("on_cache_quarantined", *args)

@@ -79,6 +79,9 @@ def _compute_tree(
     tracing = tracer.enabled
     relaxations = 0
     pruned = 0
+    # Delivered (possibly fault-degraded) bandwidth per link, fetched once
+    # so the relaxation loop below stays a plain list index.
+    bandwidths = state.effective_bandwidths()
 
     heap = [(available, machine) for machine, available in seeds.items()]
     heapq.heapify(heap)
@@ -103,7 +106,7 @@ def _compute_tree(
             # links that cannot beat the receiver's current label are
             # skipped without the full feasibility search.  (Inlined
             # arithmetic — this is the hottest line of the library.)
-            duration = item_size / link.bandwidth + link.latency
+            duration = item_size / bandwidths[link.link_id] + link.latency
             start_floor = link.start if link.start > label else label
             if start_floor + duration >= labels.get(receiver, float("inf")):
                 if tracing:

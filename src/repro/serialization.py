@@ -25,6 +25,14 @@ from repro.core.request import Request
 from repro.core.scenario import Scenario
 from repro.core.schedule import Schedule
 from repro.errors import ModelError
+from repro.faults.plan import (
+    FAULTS_SCHEMA_VERSION,
+    BandwidthDegradation,
+    CancellationFault,
+    FaultPlan,
+    LateArrivalFault,
+    OutageWindow,
+)
 from repro.observability.metrics import (
     METRICS_SCHEMA_VERSION,
     RunMetrics,
@@ -427,6 +435,114 @@ def profile_from_dict(document: Dict[str, Any]) -> Profile:
             for path, stat in document["spans"].items()
         }
     )
+
+
+# ---------------------------------------------------------------------------
+# Fault plans
+# ---------------------------------------------------------------------------
+
+def fault_plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
+    """A JSON-ready dict capturing the complete fault plan.
+
+    Plans are canonically ordered at construction, so two equal plans
+    serialize to identical documents (the basis of
+    :func:`fault_plan_fingerprint` and the run cache's fault keying).
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "fault_plan",
+        "schema_version": FAULTS_SCHEMA_VERSION,
+        "name": plan.name,
+        "outages": [
+            {
+                "physical_id": outage.physical_id,
+                "start": outage.start,
+                "end": outage.end,
+            }
+            for outage in plan.outages
+        ],
+        "degradations": [
+            {
+                "physical_id": degradation.physical_id,
+                "factor": degradation.factor,
+            }
+            for degradation in plan.degradations
+        ],
+        "cancellations": [
+            {"request_id": fault.request_id, "time": fault.time}
+            for fault in plan.cancellations
+        ],
+        "late_arrivals": [
+            {"request_id": fault.request_id, "time": fault.time}
+            for fault in plan.late_arrivals
+        ],
+    }
+
+
+def fault_plan_from_dict(document: Dict[str, Any]) -> FaultPlan:
+    """Rebuild a :class:`FaultPlan` serialized by :func:`fault_plan_to_dict`.
+
+    Raises:
+        ModelError: on missing keys, a wrong document kind, or an
+            unsupported schema version.
+    """
+    if _require(document, "kind") != "fault_plan":
+        raise ModelError(
+            f"expected a fault_plan document, got "
+            f"kind={document.get('kind')!r}"
+        )
+    schema = _require(document, "schema_version")
+    if schema != FAULTS_SCHEMA_VERSION:
+        raise ModelError(
+            f"unsupported fault plan schema version {schema!r} "
+            f"(expected {FAULTS_SCHEMA_VERSION})"
+        )
+    return FaultPlan(
+        outages=tuple(
+            OutageWindow(
+                physical_id=entry["physical_id"],
+                start=entry["start"],
+                end=entry["end"],
+            )
+            for entry in _require(document, "outages")
+        ),
+        degradations=tuple(
+            BandwidthDegradation(
+                physical_id=entry["physical_id"],
+                factor=entry["factor"],
+            )
+            for entry in _require(document, "degradations")
+        ),
+        cancellations=tuple(
+            CancellationFault(
+                request_id=entry["request_id"], time=entry["time"]
+            )
+            for entry in _require(document, "cancellations")
+        ),
+        late_arrivals=tuple(
+            LateArrivalFault(
+                request_id=entry["request_id"], time=entry["time"]
+            )
+            for entry in _require(document, "late_arrivals")
+        ),
+        name=_require(document, "name"),
+    )
+
+
+def fault_plan_fingerprint(plan: FaultPlan) -> str:
+    """SHA-256 hex digest of the plan's canonical JSON.
+
+    Because plans normalize at construction, logically equal plans
+    fingerprint equal; the executor keys cached runs on this digest so a
+    faulted record can never shadow a healthy one (or vice versa).
+    """
+    canonical = json.dumps(
+        fault_plan_to_dict(plan),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 # ---------------------------------------------------------------------------

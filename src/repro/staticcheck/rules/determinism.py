@@ -35,6 +35,7 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "heuristics",
     "baselines",
     "dynamic",
+    "faults",
     "workload",
 )
 

@@ -1,0 +1,176 @@
+"""Request churn through the dynamic driver: cancellations and late
+arrivals from a FaultPlan replayed as events.
+
+Timing facts used throughout (helpers' line network, 1000 B item at
+1000 B/s): machine 0 -> 1 -> 2, one hop per second, so a request at
+machine 2 revealed at t=0 is delivered at t=2.0.
+"""
+
+import pytest
+
+from repro.dynamic.driver import DynamicDriver
+from repro.dynamic.events import (
+    RequestArrival,
+    RequestCancellation,
+    sorted_events,
+)
+from repro.errors import ModelError
+from repro.faults import CancellationFault, FaultPlan, LateArrivalFault
+from repro.observability import RecordingTracer, use_tracer
+from tests.helpers import line_network, make_item, make_scenario
+
+
+def _line_scenario(deadline=100.0):
+    return make_scenario(
+        line_network(3),
+        [make_item(0, 1000.0, [(0, 0.0)])],
+        [(0, 2, 2, deadline)],
+        gc_delay=50.0,
+        horizon=1000.0,
+    )
+
+
+class TestCancellationEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ModelError):
+            RequestCancellation(time=-1.0, request_id=0)
+
+    def test_sorts_after_arrivals_at_the_same_instant(self):
+        events = [
+            RequestCancellation(time=5.0, request_id=0),
+            RequestArrival(time=5.0, request_id=1),
+        ]
+        ordered = sorted_events(events)
+        assert isinstance(ordered[0], RequestArrival)
+        assert isinstance(ordered[1], RequestCancellation)
+
+
+class TestDriverCancellation:
+    def test_cancellation_before_any_work_withdraws_the_request(self):
+        # The request is known at t=0 but cancelled at the same pass
+        # boundary as the arrival of real work would be.  Use a late
+        # arrival so nothing is booked before the cancellation lands.
+        scenario = _line_scenario()
+        events = [
+            RequestArrival(time=10.0, request_id=0),
+            RequestCancellation(time=5.0, request_id=0),
+        ]
+        result = DynamicDriver("partial").run(scenario, events)
+        assert result.satisfied_request_ids == ()
+        assert not result.schedule.deliveries
+        cancelled = [
+            outcome.cancelled for outcome in result.outcomes if outcome.cancelled
+        ]
+        assert cancelled == [(0,)]
+
+    def test_cancellation_after_delivery_leaves_it_standing(self):
+        # Healthy delivery happens at t=2.0; cancelling at t=10 is too
+        # late — the bytes moved, the delivery stands (paper §4.5:
+        # booked transfers are never retracted).
+        scenario = _line_scenario()
+        events = [RequestCancellation(time=10.0, request_id=0)]
+        result = DynamicDriver("partial").run(scenario, events)
+        assert result.satisfied_request_ids == (0,)
+
+    def test_cancellation_suppresses_a_later_arrival(self):
+        scenario = _line_scenario()
+        events = [
+            RequestCancellation(time=1.0, request_id=0),
+            RequestArrival(time=5.0, request_id=0),
+        ]
+        result = DynamicDriver("partial").run(scenario, events)
+        assert result.satisfied_request_ids == ()
+
+    def test_duplicate_cancellation_rejected(self):
+        scenario = _line_scenario()
+        events = [
+            RequestCancellation(time=1.0, request_id=0),
+            RequestCancellation(time=2.0, request_id=0),
+        ]
+        with pytest.raises(ModelError):
+            DynamicDriver("partial").run(scenario, events)
+
+    def test_unknown_request_rejected(self):
+        scenario = _line_scenario()
+        events = [RequestCancellation(time=1.0, request_id=99)]
+        with pytest.raises(ModelError):
+            DynamicDriver("partial").run(scenario, events)
+
+    def test_cancellation_emits_a_tracer_event(self):
+        scenario = _line_scenario()
+        events = [
+            RequestArrival(time=10.0, request_id=0),
+            RequestCancellation(time=5.0, request_id=0),
+        ]
+        tracer = RecordingTracer()
+        with use_tracer(tracer):
+            DynamicDriver("partial").run(scenario, events)
+        recorded = tracer.named("request_cancelled")
+        assert len(recorded) == 1
+        fields = dict(recorded[0].fields)
+        assert fields["request_id"] == 0
+        assert fields["at_time"] == 5.0
+
+
+class TestPlanChurnEvents:
+    def test_churn_events_map_to_driver_events(self):
+        plan = FaultPlan(
+            cancellations=(CancellationFault(0, 7.0),),
+            late_arrivals=(LateArrivalFault(1, 3.0),),
+        )
+        events = plan.churn_events()
+        kinds = {type(event).__name__ for event in events}
+        assert kinds == {"RequestArrival", "RequestCancellation"}
+        by_kind = {type(event).__name__: event for event in events}
+        assert by_kind["RequestCancellation"].request_id == 0
+        assert by_kind["RequestCancellation"].time == 7.0
+        assert by_kind["RequestArrival"].request_id == 1
+        assert by_kind["RequestArrival"].time == 3.0
+
+    def test_static_plan_has_no_churn_events(self):
+        assert FaultPlan().churn_events() == ()
+
+    def test_generated_churn_replays_through_the_driver(self):
+        scenario = make_scenario(
+            line_network(4),
+            [
+                make_item(0, 1000.0, [(0, 0.0)]),
+                make_item(1, 1000.0, [(1, 0.0)]),
+            ],
+            [
+                (0, 2, 2, 100.0),
+                (0, 3, 1, 100.0),
+                (1, 3, 2, 100.0),
+                (1, 0, 0, 100.0),
+            ],
+            gc_delay=50.0,
+            horizon=1000.0,
+        )
+        for seed in range(6):
+            plan = FaultPlan.generate(scenario, 0.9, seed=seed)
+            events = sorted_events(plan.churn_events())
+            first = DynamicDriver("partial").run(scenario, events)
+            second = DynamicDriver("partial").run(scenario, events)
+            assert (
+                first.satisfied_request_ids == second.satisfied_request_ids
+            )
+            cancelled = {
+                request_id
+                for outcome in first.outcomes
+                for request_id in outcome.cancelled
+            }
+            undelivered_cancellations = {
+                fault.request_id
+                for fault in plan.cancellations
+                if fault.request_id not in first.schedule.deliveries
+                or first.schedule.deliveries[fault.request_id].arrival
+                > fault.time
+            }
+            assert cancelled <= {
+                fault.request_id for fault in plan.cancellations
+            }
+            # A cancelled-and-unsatisfied request must have actually been
+            # withdrawn, not silently dropped.
+            for request_id in undelivered_cancellations:
+                if request_id not in first.schedule.deliveries:
+                    assert request_id not in first.satisfied_request_ids

@@ -15,6 +15,7 @@ import pytest
 from repro.core.schedule import Schedule
 from repro.core.validation import ScheduleValidator
 from repro.errors import ValidationError
+from repro.faults.plan import BandwidthDegradation, FaultPlan, OutageWindow
 from repro.heuristics.registry import make_heuristic
 from repro.workload.config import GeneratorConfig
 from repro.workload.generator import ScenarioGenerator
@@ -182,3 +183,72 @@ def test_validator_rejects_mutation(mutation, corpus):
     # swapped items change durations and copy locations, and tampered or
     # dropped deliveries diverge from the replayed arrivals.)
     assert rejected == applied
+
+
+# -- fault-aware mutations ---------------------------------------------------
+#
+# The same adversarial stance applied to the fault-injection layer: a
+# schedule produced on a *healthy* network must be rejected by a validator
+# armed with a fault plan that contradicts it (a transfer inside an outage
+# window; a duration computed from undegraded bandwidth on a degraded
+# link), while an empty plan must change nothing.
+
+
+def _step_physical_id(scenario, step):
+    return scenario.network.link(step.link_id).physical_id
+
+
+def test_validator_rejects_transfer_inside_outage(corpus):
+    rng = random.Random(0xFA01)
+    rejected = 0
+    applied = 0
+    for scenario, schedule in corpus:
+        for __ in range(5):
+            step = schedule.steps[rng.randrange(schedule.step_count)]
+            plan = FaultPlan(
+                outages=(
+                    OutageWindow(
+                        physical_id=_step_physical_id(scenario, step),
+                        start=step.start,
+                        end=step.end,
+                    ),
+                ),
+            )
+            applied += 1
+            try:
+                ScheduleValidator(scenario, faults=plan).validate(schedule)
+            except ValidationError:
+                rejected += 1
+    assert applied > 0
+    assert rejected == applied
+
+
+def test_validator_rejects_undegraded_duration_on_degraded_link(corpus):
+    rng = random.Random(0xFA02)
+    rejected = 0
+    applied = 0
+    for scenario, schedule in corpus:
+        for __ in range(5):
+            step = schedule.steps[rng.randrange(schedule.step_count)]
+            plan = FaultPlan(
+                degradations=(
+                    BandwidthDegradation(
+                        physical_id=_step_physical_id(scenario, step),
+                        factor=0.5,
+                    ),
+                ),
+            )
+            applied += 1
+            try:
+                ScheduleValidator(scenario, faults=plan).validate(schedule)
+            except ValidationError:
+                rejected += 1
+    assert applied > 0
+    # Halving the bandwidth doubles the transfer component of every
+    # duration on the link, far beyond TIME_EPSILON.
+    assert rejected == applied
+
+
+def test_validator_accepts_under_empty_fault_plan(corpus):
+    for scenario, schedule in corpus:
+        ScheduleValidator(scenario, faults=FaultPlan()).validate(schedule)

@@ -18,6 +18,9 @@ results into one JSON-ready *bench document*::
                   serialization ...},
       "entries": {
         "partial/C4": {
+          "tree_cache": {"hits": 120, "misses": 30, "hit_rate": 0.8,
+                         "reasons": {"clean": 90, "revalidated": 30,
+                                     "item_changed": 30}},
           "elapsed_seconds": 1.23,
           "cells": 5,
           "profile": {... profile document: tree, tree/dijkstra,
@@ -201,11 +204,12 @@ def run_bench(
         for case, scenario in enumerate(scenarios)
     ]
     with SweepExecutor(
-        workers=workers, cache_dir=cache_dir, profile=True
+        workers=workers, cache_dir=cache_dir, profile=True, metrics=True
     ) as executor:
         records = executor.run_cells(cells)
         summary = executor.last_summary
         profiles = dict(executor.profile_by_scheduler)
+        metrics = dict(executor.metrics_by_scheduler)
 
     elapsed: Dict[str, float] = {}
     cell_counts: Dict[str, int] = {}
@@ -220,7 +224,21 @@ def run_bench(
     entries: Dict[str, Any] = {}
     for scheduler in sorted(elapsed):
         profile = profiles.get(scheduler)
+        scheduler_metrics = metrics.get(scheduler)
+        hits = misses = 0
+        reasons: Dict[str, int] = {}
+        if scheduler_metrics is not None:
+            hits = scheduler_metrics.counters.get("tree_cache_hits", 0)
+            misses = scheduler_metrics.counters.get("tree_cache_misses", 0)
+            reasons = dict(scheduler_metrics.tree_cache_reasons)
+        probes = hits + misses
         entries[scheduler] = {
+            "tree_cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / probes if probes else 0.0,
+                "reasons": reasons,
+            },
             "elapsed_seconds": elapsed[scheduler],
             "cells": cell_counts[scheduler],
             "profile": (
@@ -317,6 +335,30 @@ def validate_bench_document(document: Mapping[str, Any]) -> None:
             raise ModelError(
                 f"{context}.elapsed_seconds has invalid value {value!r}"
             )
+        # ``tree_cache`` is additive (absent from schema-1 documents
+        # written before it existed), but must be well-formed when given.
+        tree_cache = entry.get("tree_cache")
+        if tree_cache is not None:
+            if not isinstance(tree_cache, Mapping):
+                raise ModelError(f"{context}.tree_cache must be a mapping")
+            for key in ("hits", "misses", "hit_rate"):
+                value = tree_cache.get(key)
+                if not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    raise ModelError(
+                        f"{context}.tree_cache.{key} has invalid "
+                        f"value {value!r}"
+                    )
+            reasons = tree_cache.get("reasons")
+            if not isinstance(reasons, Mapping) or any(
+                not isinstance(count, int) or isinstance(count, bool)
+                for count in reasons.values()
+            ):
+                raise ModelError(
+                    f"{context}.tree_cache.reasons must map reason "
+                    f"codes to integer counts"
+                )
         if entry.get("profile") is not None:
             validate_profile_document(entry["profile"])
         hotspots = entry.get("hotspots")
@@ -365,6 +407,18 @@ def render_bench(document: Mapping[str, Any], top: int = 5) -> str:
         lines.append(
             f"  {scheduler}: {entry['elapsed_seconds']:.2f}s scheduled"
         )
+        tree_cache = entry.get("tree_cache")
+        if tree_cache is not None:
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(tree_cache["reasons"].items())
+            )
+            lines.append(
+                f"    tree cache: {tree_cache['hits']} hits / "
+                f"{tree_cache['misses']} misses "
+                f"({tree_cache['hit_rate']:.0%})"
+                + (f"  [{reasons}]" if reasons else "")
+            )
         for hotspot in entry["hotspots"][:top]:
             lines.append(
                 f"    {hotspot['path']:<24} "

@@ -384,6 +384,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report regressions but exit 0 (CI smoke mode)",
     )
+    compare.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help=(
+            "exit nonzero only on a REGRESSED verdict — IMPROVED and "
+            "FLAT both map to 0 (the CI perf gate)"
+        ),
+    )
 
     report = sub.add_parser(
         "report",
@@ -676,6 +684,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
     from repro.benchmarks import (
         EXIT_FLAT,
+        EXIT_REGRESSED,
         Thresholds,
         compare_documents,
         load_bench_document,
@@ -697,7 +706,10 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     print(render_comparison(comparison, baseline, candidate))
     if args.warn_only:
         return EXIT_FLAT
-    return verdict_exit_code(comparison.verdict)
+    code = verdict_exit_code(comparison.verdict)
+    if args.fail_on_regression and code != EXIT_REGRESSED:
+        return EXIT_FLAT
+    return code
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

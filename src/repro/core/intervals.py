@@ -187,7 +187,12 @@ class IntervalSet:
         if cursor + duration > window.end:
             return None
         if duration_is_zero(duration):
-            # A zero-length booking overlaps nothing.
+            # A zero-length booking overlaps nothing, but its start must
+            # still lie *inside* the half-open window: ``window.end`` is
+            # not a member of ``[Lst, Let)``, so a cursor clamped to the
+            # window's end (or an empty window) yields no fit.
+            if cursor >= window.end:
+                return None
             return cursor
         # Skip members ending at or before the cursor.
         idx = bisect.bisect_right(self._starts, cursor)

@@ -11,7 +11,16 @@ a schedule is being built.  It tracks:
 * which requests have been satisfied so far;
 * monotonically increasing *revision counters* per link, per machine, and
   per item, which the heuristics use to decide whether a cached
-  shortest-path tree is still valid.
+  shortest-path tree is still valid;
+* an append-only *mutation journal* of availability-removing changes
+  (bookings and outage cutoffs) plus a global *capacity epoch* for
+  availability-adding ones, which the
+  :class:`~repro.heuristics.base.TreeCache` replays to revalidate cached
+  trees lazily instead of recomputing them;
+* a per-quiescent-period memo of :meth:`earliest_transfer` outcomes,
+  cleared on every mutation, so repeated probes of the same
+  ``(item, link, sender_ready)`` key between bookings are answered
+  without re-searching.
 
 All transfers are booked through :meth:`book_transfer`, which enforces every
 model constraint (window containment, link exclusivity, receiver capacity
@@ -21,8 +30,9 @@ resulting deliveries — to the state's :class:`~repro.core.schedule.Schedule`.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.intervals import Interval, IntervalSet
 from repro.core.link import VirtualLink
@@ -70,6 +80,43 @@ class CopyRecord:
     hops: int
 
 
+#: Journal kind: a transfer was booked (link busy interval + receiver
+#: storage reservation over the copy's residency).
+MUTATION_BOOKING = "booking"
+#: Journal kind: a dynamic outage tightened a virtual link's cutoff.
+MUTATION_CUTOFF = "cutoff"
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """One availability-removing state mutation, for lazy cache revalidation.
+
+    Only mutations that *remove* availability are journalled — bookings
+    (link busy time plus a storage reservation at the receiver) and
+    outage cutoffs.  Mutations that can *add* availability back
+    (:meth:`NetworkState.remove_copy` releasing storage) instead bump the
+    state's global :attr:`~NetworkState.capacity_epoch`, because freed
+    capacity can improve paths through machines a cached tree never
+    touched and therefore cannot be checked against a footprint.
+
+    Attributes:
+        kind: :data:`MUTATION_BOOKING` or :data:`MUTATION_CUTOFF`.
+        link_id: the virtual link the mutation touched.
+        busy: the booked transfer interval (bookings only).
+        machine: the receiving machine (bookings only, else ``-1``).
+        residency: the receiver-storage reservation interval (bookings
+            only).
+        cutoff: the new completion cutoff (cutoff records only).
+    """
+
+    kind: str
+    link_id: int
+    busy: Optional[Interval] = None
+    machine: int = -1
+    residency: Optional[Interval] = None
+    cutoff: float = float("inf")
+
+
 @dataclass(frozen=True)
 class TransferPlan:
     """A feasible (but not yet booked) transfer found by :meth:`earliest_transfer`.
@@ -106,6 +153,12 @@ class BookingResult:
 
 class NetworkState:
     """Resource and copy-location state during schedule construction."""
+
+    #: Process-wide source of unique state identity tokens; every state —
+    #: including every clone — gets its own, so a cache bound to one state
+    #: can never silently validate against another whose revision counters
+    #: restarted from zero.
+    _epoch_source = itertools.count()
 
     def __init__(
         self,
@@ -158,6 +211,18 @@ class NetworkState:
         self._link_revision: List[int] = [0] * len(network.virtual_links)
         self._machine_revision: List[int] = [0] * network.machine_count
         self._item_revision: List[int] = [0] * len(scenario.items)
+        self._epoch: int = next(NetworkState._epoch_source)
+        self._capacity_epoch: int = 0
+        self._journal: List[MutationRecord] = []
+        # (item_id, link_id, sender_ready) -> (plan or None, reason or
+        # None): memoized earliest_transfer outcomes, valid only while no
+        # mutation occurs (every mutator clears the table).  The link's
+        # communication time is a pure function of (item, link), so it is
+        # not part of the key.
+        self._transfer_memo: Dict[
+            Tuple[int, int, float],
+            Tuple[Optional[TransferPlan], Optional[str]],
+        ] = {}
         self._schedule = Schedule(name=schedule_name)
         # Destination lookup: (item_id, machine) -> request, for delivery
         # detection on arrival.
@@ -217,7 +282,10 @@ class NetworkState:
         timelines, copy tables, and a full copy of the schedule built so
         far.  Revision counters reset to zero (they only order events
         within one state's lifetime, and a fresh tree cache accompanies a
-        fresh state).
+        fresh state); the clone receives a fresh :attr:`epoch` token, so a
+        :class:`~repro.heuristics.base.TreeCache` bound to the parent
+        refuses to serve the clone instead of silently validating stale
+        trees against the restarted counters.
         """
         clone = NetworkState.__new__(NetworkState)
         clone._scenario = self._scenario
@@ -233,6 +301,10 @@ class NetworkState:
         clone._link_revision = [0] * len(self._link_revision)
         clone._machine_revision = [0] * len(self._machine_revision)
         clone._item_revision = [0] * len(self._item_revision)
+        clone._epoch = next(NetworkState._epoch_source)
+        clone._capacity_epoch = 0
+        clone._journal = []
+        clone._transfer_memo = {}
         schedule = Schedule(name=self._schedule.name)
         schedule.extend_from(self._schedule.steps)
         for delivery in self._schedule.deliveries.values():
@@ -329,6 +401,34 @@ class NetworkState:
         """Revision counter of an item's copy set."""
         return self._item_revision[item_id]
 
+    @property
+    def epoch(self) -> int:
+        """This state's unique identity token (fresh per state and clone).
+
+        Revision counters restart at zero in every clone, so two states
+        can expose identical counters while holding different resources;
+        caches bind to the epoch to tell states apart.
+        """
+        return self._epoch
+
+    @property
+    def capacity_epoch(self) -> int:
+        """Bumped whenever storage capacity is *returned* to a machine.
+
+        Freed capacity (a dynamic copy loss) can improve shortest paths
+        through machines outside any cached footprint, so caches treat a
+        changed capacity epoch as a global invalidation.
+        """
+        return self._capacity_epoch
+
+    def journal_length(self) -> int:
+        """Number of availability-removing mutations journalled so far."""
+        return len(self._journal)
+
+    def journal_since(self, position: int) -> Sequence[MutationRecord]:
+        """The journal entries appended at or after ``position``."""
+        return self._journal[position:]
+
     def release_time_at(self, item_id: int, machine: int) -> float:
         """How long a new copy of ``item_id`` would persist on ``machine``.
 
@@ -384,14 +484,25 @@ class NetworkState:
         """
         tracer = self._tracer
         tracing = tracer.enabled
+        memo_key = (item_id, link.link_id, sender_ready)
+        memoized = self._transfer_memo.get(memo_key)
+        if memoized is not None:
+            # Replay the original probe's events exactly, so observers
+            # cannot distinguish a memo hit from a recomputation.
+            plan, memo_reason = memoized
+            if tracing:
+                tracer.on_transfer_attempt(item_id, link.link_id)
+                if memo_reason is not None:
+                    tracer.on_transfer_rejected(
+                        item_id, link.link_id, memo_reason
+                    )
+            return plan
         if tracing:
             tracer.on_transfer_attempt(item_id, link.link_id)
         if self.holds(item_id, link.destination):
-            if tracing:
-                tracer.on_transfer_rejected(
-                    item_id, link.link_id, REASON_ALREADY_AT_DESTINATION
-                )
-            return None
+            return self._memo_reject(
+                memo_key, item_id, link.link_id, REASON_ALREADY_AT_DESTINATION
+            )
         item = self._scenario.item(item_id)
         if duration is None:
             duration = link.transfer_seconds(
@@ -408,11 +519,9 @@ class NetworkState:
             self._link_cutoff[link.link_id],
         )
         if window_end <= link.start:
-            if tracing:
-                tracer.on_transfer_rejected(
-                    item_id, link.link_id, REASON_WINDOW_CLOSED
-                )
-            return None
+            return self._memo_reject(
+                memo_key, item_id, link.link_id, REASON_WINDOW_CLOSED
+            )
         window = Interval(link.start, window_end)
         timeline = self._timelines[link.destination]
         busy = self._busy[link.link_id]
@@ -420,35 +529,46 @@ class NetworkState:
         while True:
             start = busy.earliest_fit(duration, window, earliest=cursor)
             if start is None:
-                if tracing:
-                    tracer.on_transfer_rejected(
-                        item_id, link.link_id, REASON_NO_LINK_SLOT
-                    )
-                return None
+                return self._memo_reject(
+                    memo_key, item_id, link.link_id, REASON_NO_LINK_SLOT
+                )
             residency = Interval(start, release)
             if timeline.can_reserve(item.size, residency):
-                return TransferPlan(
+                plan = TransferPlan(
                     item_id=item_id,
                     link=link,
                     start=start,
                     end=start + duration,
                     release=release,
                 )
+                self._transfer_memo[memo_key] = (plan, None)
+                return plan
             next_start = self._next_capacity_start(
                 timeline, item.size, start, release
             )
             if next_start is None or next_start + duration > window.end:
-                if tracing:
-                    tracer.on_transfer_rejected(
-                        item_id, link.link_id, REASON_NO_STORAGE
-                    )
-                return None
+                return self._memo_reject(
+                    memo_key, item_id, link.link_id, REASON_NO_STORAGE
+                )
             if next_start <= start:
                 raise SchedulingError(
                     "earliest_transfer failed to make progress at "
                     f"start={start} on link {link.link_id}"
                 )
             cursor = next_start
+
+    def _memo_reject(
+        self,
+        memo_key: Tuple[int, int, float],
+        item_id: int,
+        link_id: int,
+        reason: str,
+    ) -> Optional[TransferPlan]:
+        """Record an infeasible probe in the memo and emit its event."""
+        self._transfer_memo[memo_key] = (None, reason)
+        if self._tracer.enabled:
+            self._tracer.on_transfer_rejected(item_id, link_id, reason)
+        return None
 
     @staticmethod
     def _next_capacity_start(
@@ -585,6 +705,16 @@ class NetworkState:
         self._link_revision[link.link_id] += 1
         self._machine_revision[link.destination] += 1
         self._item_revision[plan.item_id] += 1
+        self._journal.append(
+            MutationRecord(
+                kind=MUTATION_BOOKING,
+                link_id=link.link_id,
+                busy=busy_interval,
+                machine=link.destination,
+                residency=residency,
+            )
+        )
+        self._transfer_memo.clear()
         step = self._schedule.add_step(
             item_id=plan.item_id,
             source=link.source,
@@ -634,6 +764,12 @@ class NetworkState:
             )
         self._link_cutoff[link_id] = at_time
         self._link_revision[link_id] += 1
+        self._journal.append(
+            MutationRecord(
+                kind=MUTATION_CUTOFF, link_id=link_id, cutoff=at_time
+            )
+        )
+        self._transfer_memo.clear()
         if self._tracer.enabled:
             self._tracer.on_link_disabled(link_id, at_time)
 
@@ -673,6 +809,11 @@ class NetworkState:
             del self._copies[item_id][machine]
             self._machine_revision[machine] += 1
             self._item_revision[item_id] += 1
+            # Freed storage can improve paths through machines outside any
+            # cached footprint — bump the global capacity epoch instead of
+            # journalling a footprint-checkable record.
+            self._capacity_epoch += 1
+            self._transfer_memo.clear()
             if self._tracer.enabled:
                 self._tracer.on_copy_removed(item_id, machine, at_time)
 
@@ -694,6 +835,7 @@ class NetworkState:
         self._schedule.remove_delivery(request_id)
         request = self._scenario.request(request_id)
         self._item_revision[request.item_id] += 1
+        self._transfer_memo.clear()
         if self._tracer.enabled:
             self._tracer.on_request_reopened(request_id)
 

@@ -77,7 +77,9 @@ logger = logging.getLogger(__name__)
 #: Version 2: cached records may carry an embedded ``metrics`` aggregate.
 #: Version 3: cached records may carry an embedded span ``profile``.
 #: Version 4: the cell identity includes the fault-plan fingerprint.
-CACHE_FORMAT_VERSION = 4
+#: Version 5: embedded metrics moved to metrics schema 2
+#: (``tree_cache_reasons``).
+CACHE_FORMAT_VERSION = 5
 
 #: The cell kinds an executor knows how to run.
 CELL_KINDS = ("pair", "tier")

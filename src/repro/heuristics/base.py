@@ -12,11 +12,15 @@ All three heuristics follow the same outer loop:
    next step.
 
 :class:`TreeCache` implements the re-computation optimization the paper
-sketches but does not use (§4.5): an item's tree is recomputed only when the
-item's own copy set changed or when a booking touched a link/storage
-resource on one of the tree's destination paths.  Bookings only ever remove
-availability, so an untouched tree's labels remain exact and optimal — the
-engine's decisions match the recompute-every-iteration algorithm.
+sketches but does not use (§4.5), sharpened to interval granularity: an
+item's tree is recomputed only when the item's own copy set changed or
+when a journalled mutation *provably intersects* the tree's interval
+footprint — a booking overlapping a planned hop on a footprint link, a
+reservation breaking a planned storage residency, or a cutoff undercutting
+a planned completion.  Bookings only ever remove availability, so a tree
+that survives the journal replay has labels byte-identical to a fresh
+recompute — the engine's decisions match the recompute-every-iteration
+algorithm.
 """
 
 from __future__ import annotations
@@ -27,9 +31,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
+from repro.core.intervals import Interval
 from repro.core.scenario import Scenario
 from repro.core.schedule import Schedule
-from repro.core.state import NetworkState, TransferPlan
+from repro.core.state import (
+    MUTATION_BOOKING,
+    MUTATION_CUTOFF,
+    NetworkState,
+    TransferPlan,
+)
 from repro.cost.criteria import CostCriterion, CostResult
 from repro.cost.weights import EUWeights
 from repro.errors import ConfigurationError
@@ -39,6 +49,17 @@ from repro.observability.profiling import (
     PHASE_SCORING,
     PHASE_TREE,
     span,
+)
+from repro.observability.tracer import (
+    TREE_CACHE_CAPACITY_RELEASED,
+    TREE_CACHE_CLEAN,
+    TREE_CACHE_COLD,
+    TREE_CACHE_CUTOFF_TIGHTENED,
+    TREE_CACHE_DISABLED,
+    TREE_CACHE_ITEM_CHANGED,
+    TREE_CACHE_LINK_CONFLICT,
+    TREE_CACHE_RESIDENCY_CONFLICT,
+    TREE_CACHE_REVALIDATED,
 )
 from repro.routing.dijkstra import compute_shortest_path_tree
 from repro.routing.paths import Hop, ShortestPathTree
@@ -54,7 +75,11 @@ class EngineStats:
         iterations: number of outer-loop iterations (scheduled choices).
         dijkstra_runs: number of shortest-path-tree computations.
         hops_booked: number of communication steps booked.
-        cache_hits: tree requests answered from the cache.
+        cache_hits: tree requests answered from the cache (clean hits
+            plus revalidated keeps).
+        revalidations: the subset of ``cache_hits`` where mutations had
+            occurred but the journal scan proved they miss the tree's
+            footprint (the incremental-revalidation win).
         elapsed_seconds: wall-clock time of the run.
     """
 
@@ -62,6 +87,7 @@ class EngineStats:
     dijkstra_runs: int = 0
     hops_booked: int = 0
     cache_hits: int = 0
+    revalidations: int = 0
     elapsed_seconds: float = 0.0
 
 
@@ -75,24 +101,67 @@ class HeuristicResult:
 
 @dataclass
 class CacheEntry:
-    """A cached tree plus an arbitrary derived payload.
+    """A cached tree, its interval footprint, and a derived payload.
+
+    The footprint records *when* the tree relies on each resource, not
+    just *which* resources it touches: per footprint link the planned
+    transfer interval, per receiving machine the planned storage
+    residency.  Revalidation replays the state's mutation journal against
+    these intervals to decide whether a mutation could have altered any
+    earliest-arrival label.
 
     The payload (the heuristic's scored candidate choice for the item) has
     exactly the same validity as the tree — it is derived from the tree, the
     item's unsatisfied-request set (which only changes with the item
     revision), and run-constant configuration — so it is stored on the entry
     and discarded with it.
+
+    Attributes:
+        tree: the cached shortest-path tree.
+        item_revision: the item's revision at snapshot time (covers seeds
+            and the unsatisfied-destination target set).
+        journal_position: how much of the state's mutation journal the
+            entry has been validated against; advanced on every
+            successful revalidation.
+        capacity_epoch: the state's capacity epoch at snapshot time
+            (capacity-adding mutations invalidate globally).
+        hop_intervals: planned transfer interval per footprint link id.
+        residencies: planned storage residency per receiving machine.
+        item_size: the routed item's size in bytes (for residency
+            rechecks).
+        payload: the heuristic's cached scored choice (see above).
     """
 
     tree: ShortestPathTree
     item_revision: int
-    link_revisions: Dict[int, int] = field(default_factory=dict)
-    machine_revisions: Dict[int, int] = field(default_factory=dict)
+    journal_position: int
+    capacity_epoch: int
+    hop_intervals: Dict[int, Interval] = field(default_factory=dict)
+    residencies: Dict[int, Interval] = field(default_factory=dict)
+    item_size: float = 0.0
     payload: object = None
 
 
 class TreeCache:
-    """Revision-validated cache of per-item shortest-path trees.
+    """Journal-revalidated cache of per-item shortest-path trees.
+
+    Coarse revision counters answer the cheap question ("did *anything*
+    about this item change?"); when unrelated mutations have occurred the
+    cache does not recompute immediately but replays the state's mutation
+    journal against the entry's interval footprint: a booking invalidates
+    only when its busy interval overlaps a planned hop on a footprint
+    link, or when its storage reservation breaks a planned residency; a
+    cutoff only when it undercuts a planned hop's completion.  Bookings
+    only ever remove availability, so a tree that survives the replay has
+    byte-identical labels and parent pointers along every destination
+    path — the engine's decisions match the recompute-every-iteration
+    algorithm exactly (pinned by the differential test suites).
+
+    The cache binds to its state's :attr:`~repro.core.state.NetworkState
+    .epoch` token at construction; serving a different state — whose
+    revision counters may have restarted from zero (``clone()``) — raises
+    :class:`~repro.errors.ConfigurationError` instead of silently
+    validating stale trees.
 
     Args:
         state: the scheduling state trees are computed against.
@@ -114,12 +183,36 @@ class TreeCache:
         self._stats = stats
         self._enabled = enabled
         self._not_before = not_before
+        self._epoch = state.epoch
         self._trees: Dict[int, CacheEntry] = {}
 
     @property
     def not_before(self) -> float:
         """The wall-clock lower bound this cache plans at."""
         return self._not_before
+
+    @property
+    def epoch(self) -> int:
+        """The identity token of the state this cache is bound to."""
+        return self._epoch
+
+    def ensure_bound(self, state: NetworkState) -> None:
+        """Assert the cache was built for exactly this state.
+
+        Raises:
+            ConfigurationError: when ``state`` is a different object (for
+                example a ``clone()``) than the one the cache was
+                constructed with — its revision counters restarted from
+                zero, so cached trees would silently validate against the
+                wrong resources.
+        """
+        if state.epoch != self._epoch:
+            raise ConfigurationError(
+                f"TreeCache is bound to state epoch {self._epoch} but was "
+                f"asked to serve state epoch {state.epoch}; caches do not "
+                f"survive clone() — build a fresh TreeCache for the new "
+                f"state"
+            )
 
     def tree_for(self, item_id: int) -> ShortestPathTree:
         """The item's current tree, recomputing only when necessary."""
@@ -134,13 +227,19 @@ class TreeCache:
         """
         tracer = self._state.tracer
         cached = self._trees.get(item_id) if self._enabled else None
-        if cached is not None and self._is_valid(item_id, cached):
+        reason = self._validity(item_id, cached)
+        if cached is not None and reason in (
+            TREE_CACHE_CLEAN,
+            TREE_CACHE_REVALIDATED,
+        ):
             self._stats.cache_hits += 1
+            if reason == TREE_CACHE_REVALIDATED:
+                self._stats.revalidations += 1
             if tracer.enabled:
-                tracer.on_tree_cache(item_id, True)
+                tracer.on_tree_cache(item_id, True, reason)
             return cached
         if tracer.enabled:
-            tracer.on_tree_cache(item_id, False)
+            tracer.on_tree_cache(item_id, False, reason)
         with span(PHASE_TREE, tracer):
             targets = {
                 request.destination
@@ -157,17 +256,68 @@ class TreeCache:
             self._trees[item_id] = entry
         return entry
 
-    def _is_valid(self, item_id: int, cached: CacheEntry) -> bool:
+    def _validity(self, item_id: int, cached: Optional[CacheEntry]) -> str:
+        """Classify the entry: a hit/keep reason or the recompute cause."""
+        if not self._enabled:
+            return TREE_CACHE_DISABLED
+        if cached is None:
+            return TREE_CACHE_COLD
         state = self._state
         if state.item_revision(item_id) != cached.item_revision:
-            return False
-        for link_id, revision in cached.link_revisions.items():
-            if state.link_revision(link_id) != revision:
-                return False
-        for machine, revision in cached.machine_revisions.items():
-            if state.machine_revision(machine) != revision:
-                return False
-        return True
+            return TREE_CACHE_ITEM_CHANGED
+        if state.capacity_epoch != cached.capacity_epoch:
+            return TREE_CACHE_CAPACITY_RELEASED
+        journal_size = state.journal_length()
+        if journal_size == cached.journal_position:
+            return TREE_CACHE_CLEAN
+        return self._revalidate(cached, journal_size)
+
+    def _revalidate(self, cached: CacheEntry, journal_size: int) -> str:
+        """Replay journalled mutations against the entry's footprint.
+
+        A kept tree is *provably* byte-identical to a recompute: bookings
+        and cutoffs only remove availability, every planned hop still
+        fits at exactly its planned time (link slot free, residency
+        reservable, cutoff clear), and competing offers can only have
+        worsened — so the label-setting search reconstructs the same
+        parents with the same tie-breaks.
+        """
+        state = self._state
+        hop_intervals = cached.hop_intervals
+        residencies = cached.residencies
+        # Receiving machines whose storage gained a reservation that
+        # overlaps a planned residency; rechecked against the live
+        # timeline after the scan (reservations only subtract, so a
+        # passing recheck proves the planned start is still the earliest).
+        suspect_machines = set()
+        for record in state.journal_since(cached.journal_position):
+            if record.kind == MUTATION_BOOKING:
+                planned = hop_intervals.get(record.link_id)
+                if (
+                    planned is not None
+                    and record.busy is not None
+                    and record.busy.overlaps(planned)
+                ):
+                    return TREE_CACHE_LINK_CONFLICT
+                planned_residency = residencies.get(record.machine)
+                if (
+                    planned_residency is not None
+                    and record.residency is not None
+                    and record.residency.overlaps(planned_residency)
+                ):
+                    suspect_machines.add(record.machine)
+            elif record.kind == MUTATION_CUTOFF:
+                planned = hop_intervals.get(record.link_id)
+                if planned is not None and record.cutoff < planned.end:
+                    return TREE_CACHE_CUTOFF_TIGHTENED
+        for machine in sorted(suspect_machines):
+            timeline = state.machine_timeline(machine)
+            if not timeline.can_reserve(
+                cached.item_size, residencies[machine]
+            ):
+                return TREE_CACHE_RESIDENCY_CONFLICT
+        cached.journal_position = journal_size
+        return TREE_CACHE_REVALIDATED
 
     def _snapshot(self, item_id: int, tree: ShortestPathTree) -> CacheEntry:
         state = self._state
@@ -175,17 +325,23 @@ class TreeCache:
             request.destination
             for request in state.unsatisfied_requests_for_item(item_id)
         ]
-        link_ids, machines = tree.footprint(destinations)
+        hops = tree.destination_hops(destinations)
         return CacheEntry(
             tree=tree,
             item_revision=state.item_revision(item_id),
-            link_revisions={
-                link_id: state.link_revision(link_id) for link_id in link_ids
+            journal_position=state.journal_length(),
+            capacity_epoch=state.capacity_epoch,
+            hop_intervals={
+                hop.link_id: Interval(hop.start, hop.end)
+                for hop in hops.values()
             },
-            machine_revisions={
-                machine: state.machine_revision(machine)
-                for machine in machines
+            residencies={
+                receiver: Interval(
+                    hop.start, state.release_time_at(item_id, receiver)
+                )
+                for receiver, hop in hops.items()
             },
+            item_size=state.scenario.item(item_id).size,
         )
 
 
@@ -278,7 +434,12 @@ class StagingHeuristic(abc.ABC):
         several passes over one shared state: the §5.4 priority-tier
         baseline filters by ``priorities``, the dynamic driver hides
         unrevealed requests through ``request_filter``.
+
+        Raises:
+            ConfigurationError: when ``cache`` was built for a different
+                state than ``state`` (e.g. the parent of a ``clone()``).
         """
+        cache.ensure_bound(state)
         debug = logger.isEnabledFor(logging.DEBUG)
         tracer = state.tracer
         tracing = tracer.enabled

@@ -7,6 +7,12 @@ Destinations sharing the same next machine ``M[r]`` form the paper's
 ``Drq[i,r]`` set; each such set — together with the concrete first hop and
 the §4.8 destination evaluations — is one :class:`CandidateGroup` that the
 cost criteria price and the heuristics schedule.
+
+Enumeration is *dirty-set driven*: the engine caches each item's scored
+groups on its :class:`~repro.heuristics.base.CacheEntry`, so this module
+only runs again for items whose trees were actually recomputed — items
+whose cached trees survived journal revalidation keep their scored
+candidates untouched.
 """
 
 from __future__ import annotations
@@ -82,6 +88,8 @@ def enumerate_groups(
         if priorities is not None and request.priority not in priorities:
             continue
         if request_filter is not None and not request_filter(request):
+            continue
+        if not tree.is_reachable(request.destination):
             continue
         path = tree.path_to(request.destination)
         if path is None or not path.hops:

@@ -22,7 +22,9 @@ from repro.errors import ModelError
 from repro.observability.tracer import Tracer, _inherit_hook_docs
 
 #: Version stamp written into every serialized metrics document.
-METRICS_SCHEMA_VERSION = 1
+#: Version 2: adds the ``tree_cache_reasons`` tally (hit/miss outcome
+#: codes from :data:`repro.observability.tracer.TREE_CACHE_REASONS`).
+METRICS_SCHEMA_VERSION = 2
 
 #: Counter keys every RunMetrics carries (missing keys default to 0).
 COUNTER_KEYS: Tuple[str, ...] = (
@@ -142,6 +144,9 @@ class RunMetrics:
     Attributes:
         counters: event tallies, keyed by :data:`COUNTER_KEYS` entries.
         rejection_reasons: rejection/failure tallies keyed by reason code.
+        tree_cache_reasons: tree-cache outcome tallies keyed by
+            :data:`~repro.observability.tracer.TREE_CACHE_REASONS` codes
+            (how hits were justified and what forced recomputes).
         link_busy_seconds: summed booked transfer seconds per virtual link.
         link_transfer_counts: booked transfer count per virtual link.
         link_window_seconds: each observed link's window length (constant
@@ -153,6 +158,7 @@ class RunMetrics:
 
     counters: Dict[str, int] = field(default_factory=dict)
     rejection_reasons: Dict[str, int] = field(default_factory=dict)
+    tree_cache_reasons: Dict[str, int] = field(default_factory=dict)
     link_busy_seconds: Dict[int, float] = field(default_factory=dict)
     link_transfer_counts: Dict[int, int] = field(default_factory=dict)
     link_window_seconds: Dict[int, float] = field(default_factory=dict)
@@ -176,6 +182,9 @@ class RunMetrics:
         reasons = dict(self.rejection_reasons)
         for key, value in other.rejection_reasons.items():
             reasons[key] = reasons.get(key, 0) + value
+        cache_reasons = dict(self.tree_cache_reasons)
+        for key, value in other.tree_cache_reasons.items():
+            cache_reasons[key] = cache_reasons.get(key, 0) + value
         busy = dict(self.link_busy_seconds)
         for key, value in other.link_busy_seconds.items():
             busy[key] = busy.get(key, 0.0) + value
@@ -187,6 +196,7 @@ class RunMetrics:
         return RunMetrics(
             counters=counters,
             rejection_reasons=reasons,
+            tree_cache_reasons=cache_reasons,
             link_busy_seconds=busy,
             link_transfer_counts=transfers,
             link_window_seconds=windows,
@@ -290,8 +300,12 @@ class MetricsCollector(Tracer):
 
     # -- engine -----------------------------------------------------------
 
-    def on_tree_cache(self, item_id: int, hit: bool) -> None:
-        self._metrics.bump("tree_cache_hits" if hit else "tree_cache_misses")
+    def on_tree_cache(self, item_id: int, hit: bool, reason: str) -> None:
+        metrics = self._metrics
+        metrics.bump("tree_cache_hits" if hit else "tree_cache_misses")
+        metrics.tree_cache_reasons[reason] = (
+            metrics.tree_cache_reasons.get(reason, 0) + 1
+        )
 
     def on_item_scored(self, item_id: int, candidates: int) -> None:
         metrics = self._metrics
@@ -380,6 +394,7 @@ def validate_metrics_document(document: Mapping[str, Any]) -> None:
         )
     _check_mapping(document, "counters", (int,))
     _check_mapping(document, "rejection_reasons", (int,))
+    _check_mapping(document, "tree_cache_reasons", (int,))
     _check_mapping(document, "link_busy_seconds", (int, float))
     _check_mapping(document, "link_transfer_counts", (int,))
     _check_mapping(document, "link_window_seconds", (int, float))

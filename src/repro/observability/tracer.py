@@ -69,6 +69,34 @@ REASON_LINK_CUTOFF = "link_cutoff"
 #: ``book_transfer``: receiver storage cannot cover the copy's residency.
 REASON_STORAGE_CONFLICT = "storage_conflict"
 
+# -- tree-cache outcome reasons ---------------------------------------------
+#
+# Every ``on_tree_cache`` event carries one of these codes explaining why
+# the cache served (hit) or recomputed (miss) an item's tree.  They form
+# their own registry (:data:`TREE_CACHE_REASONS`) separate from the
+# booking :data:`REASON_CODES`.
+
+#: Hit: no availability-removing mutation occurred since the snapshot.
+TREE_CACHE_CLEAN = "clean"
+#: Hit: mutations occurred but provably miss the tree's footprint.
+TREE_CACHE_REVALIDATED = "revalidated"
+#: Miss: the item had no cached tree yet.
+TREE_CACHE_COLD = "cold"
+#: Miss: caching is disabled (recompute-every-iteration mode).
+TREE_CACHE_DISABLED = "disabled"
+#: Miss: the item's own copy/request set changed (seeds or targets moved).
+TREE_CACHE_ITEM_CHANGED = "item_changed"
+#: Miss: storage capacity was returned somewhere (global invalidation).
+TREE_CACHE_CAPACITY_RELEASED = "capacity_released"
+#: Miss: a booking's busy interval overlaps a planned hop on a footprint
+#: link.
+TREE_CACHE_LINK_CONFLICT = "link_conflict"
+#: Miss: an outage cutoff tightened below a planned hop's completion.
+TREE_CACHE_CUTOFF_TIGHTENED = "cutoff_tightened"
+#: Miss: a new storage reservation breaks a planned residency on a
+#: footprint machine.
+TREE_CACHE_RESIDENCY_CONFLICT = "residency_conflict"
+
 #: All event names a materializing tracer may emit — the registry the
 #: ``repro.staticcheck`` R3 rule checks string literals against.  One
 #: entry per hook in the taxonomy table above; readers filtering events
@@ -108,6 +136,20 @@ REASON_CODES: Tuple[str, ...] = (
     REASON_WINDOW_ESCAPE,
     REASON_LINK_CUTOFF,
     REASON_STORAGE_CONFLICT,
+)
+
+#: All outcome codes a ``tree_cache`` event may carry.  The first two are
+#: hits; the rest explain why a tree was recomputed.
+TREE_CACHE_REASONS: Tuple[str, ...] = (
+    TREE_CACHE_CLEAN,
+    TREE_CACHE_REVALIDATED,
+    TREE_CACHE_COLD,
+    TREE_CACHE_DISABLED,
+    TREE_CACHE_ITEM_CHANGED,
+    TREE_CACHE_CAPACITY_RELEASED,
+    TREE_CACHE_LINK_CONFLICT,
+    TREE_CACHE_CUTOFF_TIGHTENED,
+    TREE_CACHE_RESIDENCY_CONFLICT,
 )
 
 
@@ -174,8 +216,13 @@ class Tracer:
 
     # -- engine -----------------------------------------------------------
 
-    def on_tree_cache(self, item_id: int, hit: bool) -> None:
-        """The tree cache answered a request (hit or recompute)."""
+    def on_tree_cache(self, item_id: int, hit: bool, reason: str) -> None:
+        """The tree cache answered a request (hit or recompute).
+
+        ``reason`` is one of :data:`TREE_CACHE_REASONS` and explains the
+        outcome: how a hit was justified (``clean`` / ``revalidated``) or
+        which mutation class forced the recompute.
+        """
 
     def on_item_scored(self, item_id: int, candidates: int) -> None:
         """An item's candidate groups were enumerated and priced."""
@@ -393,8 +440,8 @@ class _EventTracer(Tracer):
             seeds=seeds,
         )
 
-    def on_tree_cache(self, item_id: int, hit: bool) -> None:
-        self._event("tree_cache", item_id=item_id, hit=hit)
+    def on_tree_cache(self, item_id: int, hit: bool, reason: str) -> None:
+        self._event("tree_cache", item_id=item_id, hit=hit, reason=reason)
 
     def on_item_scored(self, item_id: int, candidates: int) -> None:
         self._event("item_scored", item_id=item_id, candidates=candidates)

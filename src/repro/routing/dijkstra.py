@@ -85,12 +85,13 @@ def _compute_tree(
 
     heap = [(available, machine) for machine, available in seeds.items()]
     heapq.heapify(heap)
+    infinity = float("inf")
 
     while heap:
         label, machine = heapq.heappop(heap)
         if machine in finalized:
             continue
-        if label > labels.get(machine, float("inf")):
+        if label > labels.get(machine, infinity):
             continue
         finalized.add(machine)
         if pending_targets is not None:
@@ -106,9 +107,13 @@ def _compute_tree(
             # links that cannot beat the receiver's current label are
             # skipped without the full feasibility search.  (Inlined
             # arithmetic — this is the hottest line of the library.)
+            # The receiver's current label is read once per edge: nothing
+            # between the prune check and the improvement test can change
+            # it (earliest_transfer never touches labels).
+            receiver_label = labels.get(receiver, infinity)
             duration = item_size / bandwidths[link.link_id] + link.latency
             start_floor = link.start if link.start > label else label
-            if start_floor + duration >= labels.get(receiver, float("inf")):
+            if start_floor + duration >= receiver_label:
                 if tracing:
                     pruned += 1
                 continue
@@ -117,7 +122,7 @@ def _compute_tree(
             plan = state.earliest_transfer(item_id, link, label, duration)
             if plan is None:
                 continue
-            if plan.end < labels.get(receiver, float("inf")):
+            if plan.end < receiver_label:
                 labels[receiver] = plan.end
                 parents[receiver] = (
                     machine,

@@ -109,6 +109,10 @@ class ShortestPathTree:
         self._seeds = dict(seeds)
         self._labels = dict(labels)
         self._parents = dict(parents)
+        # The tree is immutable, so reconstructed paths are memoized:
+        # candidate enumeration, footprint capture, and booking all walk
+        # the same destination paths every engine iteration.
+        self._paths: Dict[int, Optional[Path]] = {}
 
     @property
     def item_id(self) -> int:
@@ -136,7 +140,10 @@ class ShortestPathTree:
         Raises:
             SchedulingError: if the parent pointers are cyclic (tree bug).
         """
+        if machine in self._paths:
+            return self._paths[machine]
         if machine not in self._labels:
+            self._paths[machine] = None
             return None
         hops = []
         cursor = machine
@@ -165,7 +172,9 @@ class ShortestPathTree:
                 )
             visited.add(cursor)
         hops.reverse()
-        return Path(item_id=self._item_id, origin=cursor, hops=tuple(hops))
+        path = Path(item_id=self._item_id, origin=cursor, hops=tuple(hops))
+        self._paths[machine] = path
+        return path
 
     def next_hop_toward(self, machine: int) -> Optional[Hop]:
         """The first transfer on the path to ``machine``.
@@ -176,6 +185,27 @@ class ShortestPathTree:
         if path is None:
             return None
         return path.first_hop
+
+    def destination_hops(
+        self, destinations: Sequence[int]
+    ) -> Dict[int, Hop]:
+        """Every planned hop on the paths to ``destinations``, by receiver.
+
+        A tree has at most one inbound edge per machine, so the union of
+        the destination paths is a receiver-keyed hop map; paths sharing a
+        prefix contribute each shared hop once.  Unreachable destinations
+        contribute nothing.  This is the cache's *interval footprint*: the
+        concrete link occupations and storage residencies the tree's
+        labels depend on.
+        """
+        hops: Dict[int, Hop] = {}
+        for destination in destinations:
+            path = self.path_to(destination)
+            if path is None:
+                continue
+            for hop in path.hops:
+                hops.setdefault(hop.receiver, hop)
+        return hops
 
     def footprint(
         self, destinations: Sequence[int]
@@ -188,16 +218,11 @@ class ShortestPathTree:
             (their free capacity influenced the labels).  Unreachable
             destinations contribute nothing.
         """
-        link_ids = set()
-        machines = set()
-        for destination in destinations:
-            path = self.path_to(destination)
-            if path is None:
-                continue
-            for hop in path.hops:
-                link_ids.add(hop.link_id)
-                machines.add(hop.receiver)
-        return frozenset(link_ids), frozenset(machines)
+        hops = self.destination_hops(destinations)
+        return (
+            frozenset(hop.link_id for hop in hops.values()),
+            frozenset(hops),
+        )
 
     def reachable_machines(self) -> Tuple[int, ...]:
         """All machines with a finite label, ascending."""

@@ -344,6 +344,7 @@ def run_metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
         "schema_version": METRICS_SCHEMA_VERSION,
         "counters": dict(metrics.counters),
         "rejection_reasons": dict(metrics.rejection_reasons),
+        "tree_cache_reasons": dict(metrics.tree_cache_reasons),
         "link_busy_seconds": {
             str(link_id): value
             for link_id, value in metrics.link_busy_seconds.items()
@@ -379,6 +380,10 @@ def run_metrics_from_dict(document: Dict[str, Any]) -> RunMetrics:
         rejection_reasons={
             key: int(value)
             for key, value in document["rejection_reasons"].items()
+        },
+        tree_cache_reasons={
+            key: int(value)
+            for key, value in document["tree_cache_reasons"].items()
         },
         link_busy_seconds={
             int(link_id): float(value)

@@ -228,6 +228,37 @@ class TestCliGate:
         assert code == EXIT_FLAT
         assert "verdict: REGRESSED" in capsys.readouterr().out
 
+    def test_fail_on_regression_still_fails_regressions(
+        self, baseline_path, tmp_path
+    ):
+        candidate = self._write(tmp_path, "cand.json", _scaled(1.5))
+        code = main(
+            [
+                "bench",
+                "compare",
+                baseline_path,
+                candidate,
+                "--fail-on-regression",
+            ]
+        )
+        assert code == EXIT_REGRESSED
+
+    def test_fail_on_regression_maps_improvement_to_zero(
+        self, baseline_path, tmp_path, capsys
+    ):
+        candidate = self._write(tmp_path, "cand.json", _scaled(0.5))
+        code = main(
+            [
+                "bench",
+                "compare",
+                baseline_path,
+                candidate,
+                "--fail-on-regression",
+            ]
+        )
+        assert code == EXIT_FLAT
+        assert "verdict: IMPROVED" in capsys.readouterr().out
+
     def test_custom_thresholds_flow_through(self, baseline_path, tmp_path):
         candidate = self._write(tmp_path, "cand.json", _scaled(1.5))
         code = main(

@@ -36,12 +36,31 @@ class TestEarliestFitAtWindowEdges:
         free = IntervalSet()
         assert free.earliest_fit((LET - LST) + 1e-6, WINDOW) is None
 
-    def test_zero_duration_booking_at_let_is_allowed(self):
-        # A zero-length transfer occupies no bandwidth-time; the closing
-        # instant itself is still a valid (degenerate) start.
+    def test_zero_duration_booking_at_let_is_rejected(self):
+        # A zero-length transfer occupies no bandwidth-time, but its
+        # start must still be a member of the half-open window: Let
+        # itself lies outside [Lst, Let), exactly like Interval.contains.
         free = IntervalSet()
-        start = free.earliest_fit(0.0, WINDOW, earliest=LET)
-        assert start is not None and time_eq(start, LET)
+        assert free.earliest_fit(0.0, WINDOW, earliest=LET) is None
+
+    def test_zero_duration_booking_just_inside_let_is_allowed(self):
+        free = IntervalSet()
+        start = free.earliest_fit(0.0, WINDOW, earliest=LET - 1e-6)
+        assert start is not None and time_eq(start, LET - 1e-6)
+
+    def test_zero_duration_booking_at_lst_is_allowed(self):
+        free = IntervalSet()
+        start = free.earliest_fit(0.0, WINDOW)
+        assert start is not None and time_eq(start, LST)
+
+    def test_zero_duration_booking_in_empty_window_is_rejected(self):
+        # An empty window [t, t) contains no instants at all.
+        free = IntervalSet()
+        assert free.earliest_fit(0.0, Interval(LST, LST)) is None
+
+    def test_zero_duration_booking_past_let_is_rejected(self):
+        free = IntervalSet()
+        assert free.earliest_fit(0.0, WINDOW, earliest=LET + 1.0) is None
 
     def test_member_ending_at_lst_does_not_block_the_window(self):
         # A booking in an *earlier* window that touches Lst exactly:

@@ -21,6 +21,10 @@ results into one JSON-ready *bench document*::
           "tree_cache": {"hits": 120, "misses": 30, "hit_rate": 0.8,
                          "reasons": {"clean": 90, "revalidated": 30,
                                      "item_changed": 30}},
+          "timeline": {"runs": 5, "requests": 250, "satisfied": 180,
+                       "unsatisfied": 70, "peak_link": 12,
+                       "peak_utilization": 0.91,
+                       "top_rejection": "no_feasible_window"},
           "elapsed_seconds": 1.23,
           "cells": 5,
           "profile": {... profile document: tree, tree/dijkstra,
@@ -204,12 +208,17 @@ def run_bench(
         for case, scenario in enumerate(scenarios)
     ]
     with SweepExecutor(
-        workers=workers, cache_dir=cache_dir, profile=True, metrics=True
+        workers=workers,
+        cache_dir=cache_dir,
+        profile=True,
+        metrics=True,
+        timeline=True,
     ) as executor:
         records = executor.run_cells(cells)
         summary = executor.last_summary
         profiles = dict(executor.profile_by_scheduler)
         metrics = dict(executor.metrics_by_scheduler)
+        timelines = dict(executor.timeline_by_scheduler)
 
     elapsed: Dict[str, float] = {}
     cell_counts: Dict[str, int] = {}
@@ -232,6 +241,7 @@ def run_bench(
             misses = scheduler_metrics.counters.get("tree_cache_misses", 0)
             reasons = dict(scheduler_metrics.tree_cache_reasons)
         probes = hits + misses
+        timeline = timelines.get(scheduler)
         entries[scheduler] = {
             "tree_cache": {
                 "hits": hits,
@@ -239,6 +249,9 @@ def run_bench(
                 "hit_rate": hits / probes if probes else 0.0,
                 "reasons": reasons,
             },
+            "timeline": (
+                timeline.summary() if timeline is not None else None
+            ),
             "elapsed_seconds": elapsed[scheduler],
             "cells": cell_counts[scheduler],
             "profile": (
@@ -359,6 +372,39 @@ def validate_bench_document(document: Mapping[str, Any]) -> None:
                     f"{context}.tree_cache.reasons must map reason "
                     f"codes to integer counts"
                 )
+        # ``timeline`` is additive (absent from schema-1 documents
+        # written before it existed), but must be well-formed when given.
+        timeline = entry.get("timeline")
+        if timeline is not None:
+            if not isinstance(timeline, Mapping):
+                raise ModelError(f"{context}.timeline must be a mapping")
+            for key in (
+                "runs",
+                "requests",
+                "satisfied",
+                "unsatisfied",
+                "peak_link",
+            ):
+                value = timeline.get(key)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ModelError(
+                        f"{context}.timeline.{key} has invalid "
+                        f"value {value!r}"
+                    )
+            value = timeline.get("peak_utilization")
+            if not isinstance(value, (int, float)) or isinstance(
+                value, bool
+            ):
+                raise ModelError(
+                    f"{context}.timeline.peak_utilization has invalid "
+                    f"value {value!r}"
+                )
+            value = timeline.get("top_rejection")
+            if value is not None and not isinstance(value, str):
+                raise ModelError(
+                    f"{context}.timeline.top_rejection has invalid "
+                    f"value {value!r}"
+                )
         if entry.get("profile") is not None:
             validate_profile_document(entry["profile"])
         hotspots = entry.get("hotspots")
@@ -418,6 +464,16 @@ def render_bench(document: Mapping[str, Any], top: int = 5) -> str:
                 f"{tree_cache['misses']} misses "
                 f"({tree_cache['hit_rate']:.0%})"
                 + (f"  [{reasons}]" if reasons else "")
+            )
+        timeline = entry.get("timeline")
+        if timeline is not None:
+            rejection = timeline.get("top_rejection") or "-"
+            lines.append(
+                f"    timeline: {timeline['satisfied']}/"
+                f"{timeline['requests']} satisfied, peak link "
+                f"L{timeline['peak_link']} at "
+                f"{timeline['peak_utilization']:.0%}, "
+                f"top rejection {rejection}"
             )
         for hotspot in entry["hotspots"][:top]:
             lines.append(

@@ -18,9 +18,17 @@ fan-out), ``--cache-dir`` (persistent run-record cache), and
 ``--no-cache`` (ignore an otherwise-configured cache); see
 :mod:`repro.experiments.executor`.  They also accept the observability
 flags ``--metrics PATH`` (collect per-scheduler metrics and write the
-merged aggregate as schema-versioned JSON) and ``--trace-out PATH``
-(stream structured scheduler events as JSON lines); see
-``docs/OBSERVABILITY.md``.
+merged aggregate as schema-versioned JSON), ``--timeline PATH``
+(collect simulated-time telemetry — link utilization, slack
+trajectories, per-request forensics — and write the merged timeline
+document as JSON), and ``--trace-out PATH`` (stream structured
+scheduler events as JSON lines); see ``docs/OBSERVABILITY.md``.
+
+The ``report`` subcommand doubles as the telemetry exporter: with
+``--timeline TL.json`` it prints the plain-text digest and can render a
+self-contained HTML report (``--html``) and a Perfetto-compatible
+Chrome trace (``--chrome-trace``), optionally unified with a profile
+document (``--profile``).
 """
 
 from __future__ import annotations
@@ -54,14 +62,20 @@ from repro.observability import (
     JsonlTracer,
     render_link_utilization,
     render_scheduler_summaries,
+    render_timeline,
     use_tracer,
+    write_chrome_trace,
+    write_html_report,
 )
 from repro.serialization import (
     load_scenario,
     load_schedule,
+    profile_from_dict,
     run_metrics_to_dict,
     save_scenario,
     save_schedule,
+    timeline_from_dict,
+    timeline_to_dict,
 )
 from repro.staticcheck.cli import add_lint_arguments, run_lint
 from repro.workload.config import GeneratorConfig
@@ -97,6 +111,16 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--timeline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "collect simulated-time telemetry, print its digest, and "
+            "write the merged timeline document to PATH as JSON "
+            "(render it with 'datastage report --timeline PATH')"
+        ),
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -110,6 +134,7 @@ def _executor_from_args(args: argparse.Namespace) -> SweepExecutor:
         workers=args.workers,
         cache_dir=cache_dir,
         metrics=args.metrics is not None,
+        timeline=args.timeline is not None,
     )
 
 
@@ -139,6 +164,20 @@ def _emit_metrics(args: argparse.Namespace, executor: SweepExecutor) -> None:
         encoding="utf-8",
     )
     print(f"metrics written to {args.metrics}")
+
+
+def _emit_timeline(args: argparse.Namespace, executor: SweepExecutor) -> None:
+    """Print the timeline digest and write the merged document JSON."""
+    if not executor.timeline:
+        return
+    total = executor.timeline_total()
+    print(render_timeline(total))
+    Path(args.timeline).write_text(
+        json.dumps(timeline_to_dict(total), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"timeline written to {args.timeline}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -395,7 +434,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser(
         "report",
-        help="assemble recorded benchmark artifacts into markdown",
+        help=(
+            "assemble recorded benchmark artifacts into markdown, or — "
+            "with --timeline — render a timeline document as HTML and "
+            "Chrome trace-event JSON"
+        ),
     )
     report.add_argument(
         "--results-dir",
@@ -408,6 +451,39 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("ci", "full", "paper"),
     )
     report.add_argument("--output", help="write to a file instead of stdout")
+    report.add_argument(
+        "--timeline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "timeline JSON written by a sweep/figure/chaos run's "
+            "--timeline flag; switches the subcommand to telemetry mode"
+        ),
+    )
+    report.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help=(
+            "optional profile JSON unified into the Chrome trace as an "
+            "aggregate flame (telemetry mode only)"
+        ),
+    )
+    report.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="write the self-contained HTML report to PATH",
+    )
+    report.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write Chrome trace-event JSON to PATH (load in Perfetto or "
+            "chrome://tracing)"
+        ),
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -489,6 +565,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             )
     print(render_figure(data))
     _emit_metrics(args, executor)
+    _emit_timeline(args, executor)
     return 0
 
 
@@ -569,6 +646,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     _print_summary(summary)
     _emit_metrics(args, executor)
+    _emit_timeline(args, executor)
     return 0
 
 
@@ -646,6 +724,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         print(f"chaos report written to {args.out}")
     _emit_metrics(args, executor)
+    _emit_timeline(args, executor)
     return 0
 
 
@@ -713,6 +792,12 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.timeline is not None:
+        return _cmd_report_timeline(args)
+    if args.html or args.chrome_trace or args.profile:
+        raise ConfigurationError(
+            "--html/--chrome-trace/--profile require --timeline PATH"
+        )
     text = build_report(args.results_dir, args.scale)
     if args.output:
         from pathlib import Path
@@ -721,6 +806,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _load_json(path: str) -> dict:
+    from repro.errors import ModelError
+
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ModelError(f"{path} must hold a JSON object")
+    return document
+
+
+def _cmd_report_timeline(args: argparse.Namespace) -> int:
+    """Telemetry mode: render a saved timeline document."""
+    timeline = timeline_from_dict(_load_json(args.timeline))
+    profile = (
+        profile_from_dict(_load_json(args.profile))
+        if args.profile
+        else None
+    )
+    print(render_timeline(timeline))
+    if args.html:
+        write_html_report(timeline, args.html, profile=profile)
+        print(f"HTML report written to {args.html}")
+    if args.chrome_trace:
+        write_chrome_trace(timeline, args.chrome_trace, profile=profile)
+        print(f"Chrome trace written to {args.chrome_trace}")
     return 0
 
 

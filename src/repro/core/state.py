@@ -695,6 +695,14 @@ class NetworkState:
         # All checks passed; mutate.
         self._busy[link.link_id].add(busy_interval)
         timeline.reserve(item.size, residency)
+        if self._tracer.enabled:
+            self._tracer.on_storage_reserved(
+                plan.item_id,
+                link.destination,
+                item.size,
+                plan.start,
+                plan.release,
+            )
         copy = CopyRecord(
             machine=link.destination,
             available_from=plan.end,
@@ -723,7 +731,6 @@ class NetworkState:
             start=plan.start,
             end=plan.end,
         )
-        satisfied = self._record_deliveries(plan.item_id, copy)
         if self._tracer.enabled:
             self._tracer.on_transfer_booked(
                 plan.item_id,
@@ -732,6 +739,10 @@ class NetworkState:
                 plan.end,
                 link.window.end - link.window.start,
             )
+        # Deliveries are recorded (and their satisfaction events emitted)
+        # after the booking event: the transfer that causes a
+        # satisfaction precedes it in every trace.
+        satisfied = self._record_deliveries(plan.item_id, copy)
         return BookingResult(
             step_id=step.step_id,
             copy=copy,
@@ -855,4 +866,8 @@ class NetworkState:
             arrival=copy.available_from,
             hops=copy.hops,
         )
+        if self._tracer.enabled:
+            self._tracer.on_request_satisfied(
+                request_id, copy.available_from, copy.hops
+            )
         return (request_id,)

@@ -59,6 +59,11 @@ from repro.observability.profiling import (
     ProfileCollector,
     merge_profiles,
 )
+from repro.observability.timeline import (
+    Timeline,
+    TimelineCollector,
+    merge_timelines,
+)
 from repro.observability.tracer import TeeTracer, current_tracer, use_tracer
 from repro.serialization import (
     fault_plan_fingerprint,
@@ -79,7 +84,9 @@ logger = logging.getLogger(__name__)
 #: Version 4: the cell identity includes the fault-plan fingerprint.
 #: Version 5: embedded metrics moved to metrics schema 2
 #: (``tree_cache_reasons``).
-CACHE_FORMAT_VERSION = 5
+#: Version 6: cached records may carry an embedded simulated-time
+#: ``timeline`` document.
+CACHE_FORMAT_VERSION = 6
 
 #: The cell kinds an executor knows how to run.
 CELL_KINDS = ("pair", "tier")
@@ -179,13 +186,16 @@ def _run_cell(
     cell: SweepCell,
     collect_metrics: bool = False,
     collect_profile: bool = False,
+    collect_timeline: bool = False,
 ) -> RunRecord:
     """Execute one cell in-process, optionally under observability sinks.
 
     With ``collect_metrics`` the cell runs inside an ambient
     :class:`~repro.observability.metrics.MetricsCollector`, with
     ``collect_profile`` inside an ambient
-    :class:`~repro.observability.profiling.ProfileCollector`; the
+    :class:`~repro.observability.profiling.ProfileCollector`, and with
+    ``collect_timeline`` inside an ambient
+    :class:`~repro.observability.timeline.TimelineCollector`; the
     finalized aggregates ride back on the record (they cross process
     boundaries as part of the record's serialization dict).
 
@@ -197,25 +207,33 @@ def _run_cell(
     plan = cell.effective_faults()
     if plan is not None:
         with use_faults(plan):
-            return _run_observed_cell(cell, collect_metrics, collect_profile)
-    return _run_observed_cell(cell, collect_metrics, collect_profile)
+            return _run_observed_cell(
+                cell, collect_metrics, collect_profile, collect_timeline
+            )
+    return _run_observed_cell(
+        cell, collect_metrics, collect_profile, collect_timeline
+    )
 
 
 def _run_observed_cell(
     cell: SweepCell,
     collect_metrics: bool,
     collect_profile: bool,
+    collect_timeline: bool,
 ) -> RunRecord:
     """The observability-sink half of :func:`_run_cell`."""
-    if not collect_metrics and not collect_profile:
+    if not collect_metrics and not collect_profile and not collect_timeline:
         return _dispatch_cell(cell)
     metrics = MetricsCollector() if collect_metrics else None
     profiler = ProfileCollector() if collect_profile else None
+    timeline = (
+        TimelineCollector(cell.scenario) if collect_timeline else None
+    )
     ambient = current_tracer()
     # Keep an already-installed tracer (e.g. a --trace-out stream) in the
     # loop instead of shadowing it for the cell's duration.
     sinks: List[Any] = [
-        sink for sink in (metrics, profiler) if sink is not None
+        sink for sink in (metrics, profiler, timeline) if sink is not None
     ]
     if ambient.enabled:
         sinks.append(ambient)
@@ -226,6 +244,7 @@ def _run_observed_cell(
         record,
         metrics=metrics.finalize() if metrics is not None else None,
         profile=profiler.finalize() if profiler is not None else None,
+        timeline=timeline.finalize() if timeline is not None else None,
     )
 
 
@@ -239,6 +258,7 @@ _CellPayload = Tuple[
     float,
     float,
     str,
+    bool,
     bool,
     bool,
     Optional[Dict[str, Any]],
@@ -263,6 +283,7 @@ def _execute_payload(payload: _CellPayload) -> Tuple[int, Dict[str, Any]]:
         kind,
         collect_metrics,
         collect_profile,
+        collect_timeline,
         faults_doc,
     ) = payload
     cell = SweepCell(
@@ -278,7 +299,7 @@ def _execute_payload(payload: _CellPayload) -> Tuple[int, Dict[str, Any]]:
         ),
     )
     return index, run_record_to_dict(
-        _run_cell(cell, collect_metrics, collect_profile)
+        _run_cell(cell, collect_metrics, collect_profile, collect_timeline)
     )
 
 
@@ -514,6 +535,15 @@ class SweepExecutor:
             :attr:`profile_by_scheduler`, and merge into
             :meth:`profile_total`.  Like metrics, profiling never changes
             scheduling results.
+        timeline: collect per-cell simulated-time telemetry.  Each
+            computed cell runs under a
+            :class:`~repro.observability.timeline.TimelineCollector`;
+            the per-run timelines ride back on the records (crossing the
+            process boundary and the run cache — simulated time is
+            deterministic, so a replayed timeline is byte-identical to a
+            recompute), accumulate into :attr:`timeline_by_scheduler`,
+            and merge into :meth:`timeline_total`.  Like metrics,
+            timeline collection never changes scheduling results.
 
     The executor is also a context manager (``with SweepExecutor(...)``),
     closing its worker pool on exit.  If a worker raises mid-run, the
@@ -528,6 +558,7 @@ class SweepExecutor:
         cache_dir: Optional[Union[str, Path]] = None,
         metrics: bool = False,
         profile: bool = False,
+        timeline: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(
@@ -539,10 +570,13 @@ class SweepExecutor:
         self.last_summary: Optional[SweepSummary] = None
         self.metrics = bool(metrics)
         self.profile = bool(profile)
+        self.timeline = bool(timeline)
         #: Merged per-run aggregates keyed by scheduler label.
         self.metrics_by_scheduler: Dict[str, RunMetrics] = {}
         #: Merged per-run span profiles keyed by scheduler label.
         self.profile_by_scheduler: Dict[str, Profile] = {}
+        #: Merged per-run timelines keyed by scheduler label.
+        self.timeline_by_scheduler: Dict[str, Timeline] = {}
         self._collector = MetricsCollector() if self.metrics else None
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -578,6 +612,17 @@ class SweepExecutor:
     def profile_total(self) -> Profile:
         """Every collected per-scheduler profile merged into one."""
         return merge_profiles(self.profile_by_scheduler.values())
+
+    def timeline_total(self) -> Timeline:
+        """Every collected per-scheduler timeline merged into one.
+
+        Labels merge in sorted order so the merged document — and its
+        serialization — is identical at any worker count.
+        """
+        return merge_timelines(
+            self.timeline_by_scheduler[label]
+            for label in sorted(self.timeline_by_scheduler)
+        )
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -682,6 +727,7 @@ class SweepExecutor:
                     cell,
                     collect_metrics=self.metrics,
                     collect_profile=self.profile,
+                    collect_timeline=self.timeline,
                 )
                 return record, attempt
             except TRANSIENT_EXCEPTIONS as exc:
@@ -719,6 +765,7 @@ class SweepExecutor:
                 cells[index].kind,
                 self.metrics,
                 self.profile,
+                self.timeline,
                 (
                     fault_plan_to_dict(plan)
                     if (plan := cells[index].effective_faults()) is not None
@@ -807,6 +854,7 @@ class SweepExecutor:
             not tracer.enabled
             and self._collector is None
             and not self.profile
+            and not self.timeline
         ):
             return
         for index, record in enumerate(records):
@@ -825,6 +873,15 @@ class SweepExecutor:
                     record.profile.merged(Profile())
                     if existing_profile is None
                     else existing_profile.merged(record.profile)
+                )
+            if self.timeline and record.timeline is not None:
+                existing_timeline = self.timeline_by_scheduler.get(
+                    record.scheduler
+                )
+                self.timeline_by_scheduler[record.scheduler] = (
+                    Timeline().merged(record.timeline)
+                    if existing_timeline is None
+                    else existing_timeline.merged(record.timeline)
                 )
             if self._collector is None:
                 continue

@@ -21,6 +21,7 @@ from repro.heuristics.base import HeuristicResult
 from repro.heuristics.registry import make_heuristic
 from repro.observability.metrics import RunMetrics
 from repro.observability.profiling import Profile
+from repro.observability.timeline import Timeline
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,12 @@ class RunRecord:
             only when profiling was requested, and — like timing —
             excluded from result identity.  Cache replays restore the
             *original* run's profile.
+        timeline: optional simulated-time telemetry document for the
+            run; populated only when timeline collection was requested,
+            and — like timing — excluded from result identity.  Cache
+            replays restore the *original* run's timeline (simulated
+            time is deterministic, so the replayed document is
+            byte-identical to a recompute).
     """
 
     scenario: str
@@ -64,6 +71,7 @@ class RunRecord:
     cache_hit: bool = False
     metrics: Optional[RunMetrics] = None
     profile: Optional[Profile] = None
+    timeline: Optional[Timeline] = None
 
     @property
     def satisfied_count(self) -> int:
@@ -83,6 +91,7 @@ class RunRecord:
             cache_hit=False,
             metrics=None,
             profile=None,
+            timeline=None,
         )
 
 
@@ -93,6 +102,7 @@ def record_result(
     eu_label: str = "-",
     metrics: Optional[RunMetrics] = None,
     profile: Optional[Profile] = None,
+    timeline: Optional[Timeline] = None,
 ) -> RunRecord:
     """Convert a finished :class:`HeuristicResult` into a record."""
     effect = evaluate_schedule(scenario, result.schedule)
@@ -109,6 +119,7 @@ def record_result(
         average_hops=result.schedule.average_hops_per_delivery(),
         metrics=metrics,
         profile=profile,
+        timeline=timeline,
     )
 
 

@@ -16,6 +16,14 @@ The subsystem has three layers:
   events into a hierarchical, mergeable :class:`Profile`.
 * :mod:`repro.observability.report` — plain-text rendering of per-scheduler
   summaries and link-utilization tables from collected metrics.
+* :mod:`repro.observability.timeline` — :class:`TimelineCollector`, a
+  tracer that folds the event stream into a mergeable, schema-versioned
+  simulated-time :class:`Timeline` (link utilization/oversubscription
+  series, storage occupancy, per-class slack trajectories, and the
+  per-request forensics ledger behind :meth:`Timeline.explain`).
+* :mod:`repro.observability.export` — timeline exporters: Chrome
+  trace-event JSON (Perfetto-compatible) and the self-contained HTML
+  report behind ``datastage report``.
 
 Tracing is ambient: ``with use_tracer(t): ...`` installs a tracer for the
 current process; :class:`~repro.core.state.NetworkState` captures the
@@ -50,11 +58,29 @@ from repro.observability.profiling import (
     span,
     validate_profile_document,
 )
+from repro.observability.export import (
+    chrome_trace_events,
+    render_html_report,
+    write_chrome_trace,
+    write_html_report,
+)
 from repro.observability.report import (
     render_link_utilization,
     render_profile,
     render_run_metrics,
     render_scheduler_summaries,
+    render_timeline,
+)
+from repro.observability.timeline import (
+    TIMELINE_SCHEMA_VERSION,
+    ClassSeries,
+    LinkSeries,
+    RequestForensics,
+    StorageSeries,
+    Timeline,
+    TimelineCollector,
+    merge_timelines,
+    validate_timeline_document,
 )
 from repro.observability.tracer import (
     NULL_TRACER,
@@ -95,6 +121,20 @@ __all__ = [
     "render_profile",
     "render_run_metrics",
     "render_scheduler_summaries",
+    "render_timeline",
+    "TIMELINE_SCHEMA_VERSION",
+    "ClassSeries",
+    "LinkSeries",
+    "RequestForensics",
+    "StorageSeries",
+    "Timeline",
+    "TimelineCollector",
+    "merge_timelines",
+    "validate_timeline_document",
+    "chrome_trace_events",
+    "render_html_report",
+    "write_chrome_trace",
+    "write_html_report",
     "NULL_TRACER",
     "JsonlTracer",
     "NullTracer",

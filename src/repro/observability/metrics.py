@@ -48,6 +48,8 @@ COUNTER_KEYS: Tuple[str, ...] = (
     "cells",
     "run_cache_hits",
     "run_cache_misses",
+    "requests_satisfied",
+    "storage_reservations",
 )
 
 
@@ -276,6 +278,16 @@ class MetricsCollector(Tracer):
         self, item_id: int, machine: int, at_time: float
     ) -> None:
         self._metrics.bump("copies_removed")
+
+    def on_request_satisfied(
+        self, request_id: int, at_time: float, hops: int
+    ) -> None:
+        self._metrics.bump("requests_satisfied")
+
+    def on_storage_reserved(
+        self, item_id: int, machine: int, amount: float, start: float, release: float
+    ) -> None:
+        self._metrics.bump("storage_reservations")
 
     def on_request_reopened(self, request_id: int) -> None:
         self._metrics.bump("requests_reopened")

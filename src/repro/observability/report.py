@@ -1,16 +1,18 @@
 """Plain-text rendering of collected scheduler metrics and profiles.
 
-Four renderers, all returning aligned ASCII tables (via the same
+Five renderers, all returning aligned ASCII tables (via the same
 :func:`~repro.experiments.tables.render_table` the figure output uses):
 
 * :func:`render_run_metrics` — one aggregate's counters, rejection
-  reasons, and timing summaries;
+  reasons, tree-cache outcome tallies, and timing summaries;
 * :func:`render_scheduler_summaries` — one row per scheduler label
   (bookings, attempts, rejection rate, search effort, cache behavior);
 * :func:`render_link_utilization` — the busiest virtual links with their
   mean per-run busy time and utilization fraction;
 * :func:`render_profile` — one span profile's per-phase wall/CPU
-  breakdown, ranked hottest (self wall time) first.
+  breakdown, ranked hottest (self wall time) first;
+* :func:`render_timeline` — one simulated-time telemetry document's
+  digest (saturation, per-class outcomes, worst-off requests).
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from typing import Mapping, Sequence
 
 from repro.observability.metrics import RunMetrics
 from repro.observability.profiling import Profile
+from repro.observability.timeline import Timeline
 
 
 def render_table(
@@ -50,6 +53,13 @@ def render_run_metrics(metrics: RunMetrics, title: str = "metrics") -> str:
     for reason in sorted(metrics.rejection_reasons):
         rows.append(
             [f"reason:{reason}", str(metrics.rejection_reasons[reason])]
+        )
+    for reason in sorted(metrics.tree_cache_reasons):
+        rows.append(
+            [
+                f"tree_cache:{reason}",
+                str(metrics.tree_cache_reasons[reason]),
+            ]
         )
     decision = metrics.decision_seconds
     if decision.count:
@@ -176,3 +186,92 @@ def render_link_utilization(
     return render_table(
         ["link", "transfers", "busy-s", "mean-util"], rows, title=title
     )
+
+
+def render_timeline(
+    timeline: Timeline,
+    top: int = 5,
+    title: str = "simulated-time telemetry",
+) -> str:
+    """A timeline's plain-text digest: three stacked tables.
+
+    The headline table carries the merged-run totals and the peak link;
+    the class table breaks requests down per priority (satisfied,
+    cancelled, reopened, worst observed slack); the forensics table
+    lists the ``top`` unsatisfied requests with their dominant rejection
+    cause (see :meth:`~repro.observability.timeline.Timeline.explain`
+    for the full per-request story).
+    """
+    summary = timeline.summary()
+    headline = render_table(
+        ["metric", "value"],
+        [
+            ["runs", str(summary["runs"])],
+            ["requests", str(summary["requests"])],
+            ["satisfied", str(summary["satisfied"])],
+            ["unsatisfied", str(summary["unsatisfied"])],
+            [
+                "peak_link_utilization",
+                f"{summary['peak_utilization']:.4f} "
+                f"(L{summary['peak_link']})",
+            ],
+            ["top_rejection", summary["top_rejection"] or "-"],
+        ],
+        title=title,
+    )
+    class_rows = []
+    for priority in sorted(timeline.classes, reverse=True):
+        series = timeline.classes[priority]
+        worst_slack = (
+            f"{min(slack for _, slack in series.slack):.1f}"
+            if series.slack
+            else "-"
+        )
+        class_rows.append(
+            [
+                f"p{priority}",
+                str(series.requests),
+                str(series.satisfied),
+                str(series.cancelled),
+                str(series.reopened),
+                worst_slack,
+            ]
+        )
+    classes = render_table(
+        ["class", "requests", "satisfied", "cancelled", "reopened",
+         "worst-slack-s"],
+        class_rows,
+        title="priority classes",
+    )
+    losers = [
+        timeline.forensics[key]
+        for key in sorted(timeline.forensics)
+        if timeline.forensics[key].satisfied
+        < timeline.forensics[key].observed
+    ]
+    losers.sort(
+        key=lambda ledger: (
+            -ledger.priority,
+            ledger.deadline,
+            ledger.scenario,
+            ledger.request_id,
+        )
+    )
+    loser_rows = [
+        [
+            ledger.scenario,
+            str(ledger.request_id),
+            f"p{ledger.priority}",
+            f"{ledger.deadline:.1f}",
+            str(ledger.attempts),
+            ledger.dominant_reason() or "-",
+        ]
+        for ledger in losers[:top]
+    ]
+    forensics = render_table(
+        ["scenario", "request", "class", "deadline", "attempts", "cause"],
+        loser_rows,
+        title=f"unsatisfied requests (top {min(len(losers), top)} "
+        f"of {len(losers)})",
+    )
+    return "\n\n".join([headline, classes, forensics])

@@ -31,6 +31,8 @@ on_faults_applied     ``NetworkState`` applied a fault plan at construction
 on_request_cancelled  dynamic driver withdrew a request (churn fault)
 on_cell_retry         executor retried a cell after a transient failure
 on_cache_quarantined  executor quarantined a corrupted run-cache record
+on_request_satisfied  ``NetworkState`` delivered a copy satisfying a request
+on_storage_reserved   ``book_transfer`` reserved receiver storage
 ====================  =====================================================
 """
 
@@ -68,6 +70,10 @@ REASON_WINDOW_ESCAPE = "window_escape"
 REASON_LINK_CUTOFF = "link_cutoff"
 #: ``book_transfer``: receiver storage cannot cover the copy's residency.
 REASON_STORAGE_CONFLICT = "storage_conflict"
+#: Timeline forensics: the request's item never reached a feasibility
+#: search — the scheduler ran out of budget (or pruned the item) before
+#: any transfer toward it was even attempted.
+REASON_NEVER_ATTEMPTED = "never_attempted"
 
 # -- tree-cache outcome reasons ---------------------------------------------
 #
@@ -121,6 +127,8 @@ EVENT_NAMES: Tuple[str, ...] = (
     "request_cancelled",
     "cell_retry",
     "cache_quarantined",
+    "request_satisfied",
+    "storage_reserved",
 )
 
 #: All reason codes a rejection/failure event may carry.
@@ -136,6 +144,7 @@ REASON_CODES: Tuple[str, ...] = (
     REASON_WINDOW_ESCAPE,
     REASON_LINK_CUTOFF,
     REASON_STORAGE_CONFLICT,
+    REASON_NEVER_ATTEMPTED,
 )
 
 #: All outcome codes a ``tree_cache`` event may carry.  The first two are
@@ -289,6 +298,28 @@ class Tracer:
     def on_cache_quarantined(self, path: str) -> None:
         """A corrupted run-cache record was renamed aside and will be
         recomputed (``path`` is the quarantined file)."""
+
+    # -- simulated-time telemetry ------------------------------------------
+
+    def on_request_satisfied(
+        self, request_id: int, at_time: float, hops: int
+    ) -> None:
+        """A delivered copy satisfied a pending request.
+
+        ``at_time`` is the copy's arrival (simulated time); ``hops`` is
+        the staging depth of the delivered copy.  Reopening the request
+        later (:meth:`on_request_reopened`) undoes the satisfaction.
+        """
+
+    def on_storage_reserved(
+        self, item_id: int, machine: int, amount: float, start: float, release: float
+    ) -> None:
+        """``book_transfer`` reserved receiver storage for a new copy.
+
+        ``amount`` bytes are held on ``machine`` over the simulated-time
+        residency ``[start, release)`` (``release`` may be the horizon
+        when the copy never expires).
+        """
 
 
 def _inherit_hook_docs(cls: type) -> type:
@@ -514,6 +545,28 @@ class _EventTracer(Tracer):
     def on_cache_quarantined(self, path: str) -> None:
         self._event("cache_quarantined", path=path)
 
+    def on_request_satisfied(
+        self, request_id: int, at_time: float, hops: int
+    ) -> None:
+        self._event(
+            "request_satisfied",
+            request_id=request_id,
+            at_time=at_time,
+            hops=hops,
+        )
+
+    def on_storage_reserved(
+        self, item_id: int, machine: int, amount: float, start: float, release: float
+    ) -> None:
+        self._event(
+            "storage_reserved",
+            item_id=item_id,
+            machine=machine,
+            amount=amount,
+            start=start,
+            release=release,
+        )
+
 
 class RecordingTracer(_EventTracer):
     """Materializes every event as a :class:`TraceEvent` in memory.
@@ -615,7 +668,17 @@ class TeeTracer(Tracer):
 
     def __post_init__(self) -> None:
         self.children = tuple(self.children)
-        self.enabled = any(child.enabled for child in self.children)
+
+    @property  # type: ignore[override]
+    def enabled(self) -> bool:
+        """``True`` iff any child is enabled, recomputed on every read.
+
+        A property (not a snapshot taken at construction) so a child
+        toggling its own ``enabled`` after the tee is built is honored;
+        when every child is a :class:`NullTracer` the tee reports
+        disabled and event sites allocate nothing.
+        """
+        return any(child.enabled for child in self.children)
 
     def _fan_out(self, method: str, *args: Any) -> None:
         for child in self.children:
@@ -678,3 +741,9 @@ class TeeTracer(Tracer):
 
     def on_cache_quarantined(self, *args: Any) -> None:
         self._fan_out("on_cache_quarantined", *args)
+
+    def on_request_satisfied(self, *args: Any) -> None:
+        self._fan_out("on_request_satisfied", *args)
+
+    def on_storage_reserved(self, *args: Any) -> None:
+        self._fan_out("on_storage_reserved", *args)

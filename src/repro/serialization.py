@@ -45,6 +45,11 @@ from repro.observability.profiling import (
     SpanStat,
     validate_profile_document,
 )
+from repro.observability.timeline import (
+    TIMELINE_SCHEMA_VERSION,
+    Timeline,
+    validate_timeline_document,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports
     # the core model; experiments modules import this module back)
@@ -284,6 +289,11 @@ def run_record_to_dict(record: "RunRecord") -> Dict[str, Any]:
             if record.profile is not None
             else None
         ),
+        "timeline": (
+            timeline_to_dict(record.timeline)
+            if record.timeline is not None
+            else None
+        ),
     }
 
 
@@ -322,6 +332,11 @@ def run_record_from_dict(document: Dict[str, Any]) -> "RunRecord":
         profile=(
             profile_from_dict(document["profile"])
             if document.get("profile") is not None
+            else None
+        ),
+        timeline=(
+            timeline_from_dict(document["timeline"])
+            if document.get("timeline") is not None
             else None
         ),
     )
@@ -440,6 +455,40 @@ def profile_from_dict(document: Dict[str, Any]) -> Profile:
             for path, stat in document["spans"].items()
         }
     )
+
+
+# ---------------------------------------------------------------------------
+# Timelines
+# ---------------------------------------------------------------------------
+
+def timeline_to_dict(timeline: Timeline) -> Dict[str, Any]:
+    """A JSON-ready dict capturing one simulated-time telemetry document.
+
+    The body layout (key-sorted link/storage/class/forensics maps) is
+    produced by :meth:`repro.observability.timeline.Timeline.to_dict`;
+    this wrapper adds the ``kind`` tag and version stamps.  Equal
+    timelines serialize byte-identically, which is what the cache-replay
+    invariance tests pin.
+    """
+    document: Dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "kind": "timeline",
+        "schema_version": TIMELINE_SCHEMA_VERSION,
+    }
+    document.update(timeline.to_dict())
+    return document
+
+
+def timeline_from_dict(document: Dict[str, Any]) -> Timeline:
+    """Rebuild a timeline from :func:`timeline_to_dict` output.
+
+    Raises:
+        ModelError: on a wrong kind, schema version, or invalid
+            structure (delegates to :func:`repro.observability.timeline
+            .validate_timeline_document`).
+    """
+    validate_timeline_document(document)
+    return Timeline.from_dict(document)
 
 
 # ---------------------------------------------------------------------------

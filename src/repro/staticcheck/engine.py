@@ -145,7 +145,9 @@ class CheckContext:
         event_names: the tracer event-name registry in force (extracted
             from the scanned tree's ``observability/tracer.py`` when
             present, else the installed package's registry).
-        reason_codes: likewise for rejection/failure reason codes.
+        reason_codes: likewise for reason codes — the union of the
+            rejection/failure codes (``REASON_*``) and the tree-cache
+            outcome codes (``TREE_CACHE_*``).
     """
 
     root: Path
@@ -312,15 +314,25 @@ def _registry_from_tree(root: Path) -> Tuple[frozenset, frozenset]:
                     if isinstance(element, ast.Constant)
                     and isinstance(element.value, str)
                 )
-            if any(name.startswith("REASON_") for name in names) and isinstance(
-                value, ast.Constant
-            ) and isinstance(value.value, str):
+            if any(
+                name.startswith(("REASON_", "TREE_CACHE_"))
+                and not name.endswith(("_CODES", "_REASONS"))
+                for name in names
+            ) and isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
                 reasons.append(value.value)
         if events or reasons:
             return frozenset(events), frozenset(reasons)
-    from repro.observability.tracer import EVENT_NAMES, REASON_CODES
+    from repro.observability.tracer import (
+        EVENT_NAMES,
+        REASON_CODES,
+        TREE_CACHE_REASONS,
+    )
 
-    return frozenset(EVENT_NAMES), frozenset(REASON_CODES)
+    return frozenset(EVENT_NAMES), frozenset(
+        REASON_CODES + TREE_CACHE_REASONS
+    )
 
 
 @dataclass

@@ -14,9 +14,15 @@ Checked sites:
 * ``*._event("name", ...)`` — the funnel every materializing tracer
   emits through;
 * ``*.named("name")`` — the reader-side filter on recorded events;
-* ``reason="literal"`` keyword arguments to tracer hooks
-  (``on_transfer_rejected`` / ``on_booking_failed``) and comparisons of
-  a reason-named expression against a literal.
+* ``reason="literal"`` keyword arguments to *any* call (tracer hooks,
+  forensics ledgers, test helpers alike);
+* comparisons of a reason-named expression against a literal — the
+  name hint is the attribute/variable name or, for subscripts like
+  ``event["reason"]``, the constant string key.
+
+Reason literals are checked against the union of the rejection codes
+(``REASON_CODES``) and the tree-cache outcome codes
+(``TREE_CACHE_REASONS``).
 """
 
 from __future__ import annotations
@@ -44,6 +50,9 @@ def _attr_name(node: ast.AST) -> Optional[str]:
         return node.attr
     if isinstance(node, ast.Name):
         return node.id
+    if isinstance(node, ast.Subscript):
+        # ``event["reason"]`` — the constant key is the name hint.
+        return _literal_str(node.slice)
     return None
 
 
@@ -85,18 +94,17 @@ class TracerRegistryRule(Rule):
                             f"named() filter {name!r} matches no "
                             f"registered event name",
                         )
-                if callee is not None and callee.startswith("on_"):
-                    for keyword in node.keywords:
-                        if keyword.arg != "reason":
-                            continue
-                        reason = _literal_str(keyword.value)
-                        if reason is not None and reason not in reasons:
-                            yield module.finding(
-                                self,
-                                keyword.value,
-                                f"reason code {reason!r} is not in the "
-                                f"tracer REASON_CODES registry",
-                            )
+                for keyword in node.keywords:
+                    if keyword.arg != "reason":
+                        continue
+                    reason = _literal_str(keyword.value)
+                    if reason is not None and reason not in reasons:
+                        yield module.finding(
+                            self,
+                            keyword.value,
+                            f"reason code {reason!r} is not in the "
+                            f"tracer REASON_CODES registry",
+                        )
             elif isinstance(node, ast.Compare):
                 operands = [node.left] + list(node.comparators)
                 for index, op in enumerate(node.ops):

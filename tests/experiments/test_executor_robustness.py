@@ -113,7 +113,13 @@ class _Flaky:
         self.error = error
         self.calls = 0
 
-    def __call__(self, cell, collect_metrics=False, collect_profile=False):
+    def __call__(
+        self,
+        cell,
+        collect_metrics=False,
+        collect_profile=False,
+        collect_timeline=False,
+    ):
         self.calls += 1
         if self.calls <= self.failures:
             raise self.error(f"transient failure {self.calls}")

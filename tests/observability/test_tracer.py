@@ -296,3 +296,32 @@ class TestTeeTracer:
         tee = TeeTracer((NullTracer(), NullTracer()))
         assert not tee.enabled
         assert TeeTracer(()).enabled is False
+
+    def test_enabled_tracks_children_dynamically(self):
+        class Toggleable(RecordingTracer):
+            enabled = False
+
+        child = Toggleable()
+        tee = TeeTracer((NullTracer(), child))
+        assert not tee.enabled
+        child.enabled = True
+        assert tee.enabled
+        child.enabled = False
+        assert not tee.enabled
+
+    def test_disabled_tee_suppresses_event_allocation(self, line_scenario):
+        # The event site's `if tracer.enabled:` guard is the allocation
+        # gate — an all-NullTracer tee must report disabled so the state
+        # never materializes event payloads for it.
+        tee = TeeTracer((NullTracer(), NullTracer()))
+        with use_tracer(tee):
+            state = NetworkState(line_scenario)
+            link = line_scenario.network.link(0)
+            plan = state.earliest_transfer(0, link, 0.0)
+            assert plan is not None
+            state.book_transfer(plan)
+        recorder = RecordingTracer()
+        seen = TeeTracer((recorder, NullTracer()))
+        assert seen.enabled
+        seen.on_run_end("x", 0.1)
+        assert len(recorder.named("run_end")) == 1

@@ -24,8 +24,13 @@ TRACER_FIXTURE = """
 EVENT_NAMES = ("transfer_booked",)
 
 REASON_WINDOW_CLOSED = "window_closed"
+REASON_LINK_BUSY = "link_busy"
 
-REASON_CODES = (REASON_WINDOW_CLOSED,)
+REASON_CODES = (REASON_WINDOW_CLOSED, REASON_LINK_BUSY)
+
+TREE_CACHE_REVALIDATED = "revalidated"
+
+TREE_CACHE_REASONS = (TREE_CACHE_REVALIDATED,)
 """
 
 

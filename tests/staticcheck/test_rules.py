@@ -151,12 +151,31 @@ R3_SUPPRESSED = """
         tracer._event("transfer_boked", t=0.0)  # staticcheck: disable=R3
 """
 
+R3_BAD_KWARG_ANY_CALL = """
+    def note(ledger: object) -> None:
+        ledger.tally(reason="typo_reason")
+"""
+
+R3_BAD_SUBSCRIPT = """
+    def is_busy(event: dict) -> bool:
+        return event["reason"] == "link_bizzy"
+"""
+
 R3_CLEAN = """
     def emit(tracer: object) -> None:
         tracer._event("transfer_booked", t=0.0)
 
     def reject(tracer: object) -> None:
         tracer.on_transfer_rejected(reason="window_closed")
+
+    def note(ledger: object) -> None:
+        ledger.tally(reason="link_busy")
+
+    def is_cache_clean(event: dict) -> bool:
+        return event["reason"] == "revalidated"
+
+    def unrelated(event: dict) -> bool:
+        return event["phase"] == "not_a_reason"
 """
 
 
@@ -172,6 +191,20 @@ def test_r3_flags_unregistered_reason_code(lint_files):
     assert "bogus_reason" in result.findings[0].message
 
 
+def test_r3_flags_reason_kwargs_on_any_call(lint_files):
+    result = lint_files(
+        {"core/events.py": R3_BAD_KWARG_ANY_CALL}, rules=["R3"]
+    )
+    assert _rules_hit(result) == ["R3"]
+    assert "typo_reason" in result.findings[0].message
+
+
+def test_r3_flags_subscript_reason_comparisons(lint_files):
+    result = lint_files({"core/events.py": R3_BAD_SUBSCRIPT}, rules=["R3"])
+    assert _rules_hit(result) == ["R3"]
+    assert "link_bizzy" in result.findings[0].message
+
+
 def test_r3_suppression_comment_silences(lint_files):
     result = lint_files({"core/events.py": R3_SUPPRESSED}, rules=["R3"])
     assert result.clean
@@ -184,9 +217,10 @@ def test_r3_registered_literals_are_clean(lint_files):
 
 
 def test_r3_registry_is_read_from_the_scanned_tree(lint_files):
-    # "transfer_booked" is registered in the shipped package but NOT in
-    # this fixture tree's deliberately empty registry, so the same
-    # source that is clean above must be flagged here.
+    # "transfer_booked", "window_closed", "link_busy", and "revalidated"
+    # are registered in the shipped package but NOT in this fixture
+    # tree's deliberately different registry, so the same source that is
+    # clean above must be flagged here.
     result = lint_files(
         {
             "core/events.py": R3_CLEAN,
@@ -196,7 +230,7 @@ def test_r3_registry_is_read_from_the_scanned_tree(lint_files):
         rules=["R3"],
         with_tracer=False,
     )
-    assert len(result.findings) == 2
+    assert len(result.findings) == 4
 
 
 # ---------------------------------------------------------------------------

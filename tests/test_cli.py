@@ -199,6 +199,90 @@ class TestSweep:
         assert "inf" in out
 
 
+class TestTimelineFlag:
+    def test_sweep_emits_a_loadable_timeline(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        from repro.experiments.scale import ExperimentScale
+        from repro.serialization import timeline_from_dict
+        from repro.workload.config import GeneratorConfig
+        import repro.cli as cli
+
+        tiny_scale = ExperimentScale(
+            name="ci",
+            cases=2,
+            config=GeneratorConfig.tiny(),
+            log_ratios=(0.0,),
+        )
+        monkeypatch.setattr(cli, "scale_by_name", lambda name: tiny_scale)
+        path = tmp_path / "timeline.json"
+        assert main(["sweep", "--timeline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "simulated-time telemetry" in out
+        assert f"timeline written to {path}" in out
+        timeline = timeline_from_dict(
+            json.loads(path.read_text(encoding="utf-8"))
+        )
+        assert timeline.runs == 2
+
+
+class TestReportTimeline:
+    @pytest.fixture()
+    def timeline_path(self, tmp_path, line_scenario):
+        import json
+
+        from repro.heuristics.registry import make_heuristic
+        from repro.observability import TimelineCollector, use_tracer
+        from repro.serialization import timeline_to_dict
+
+        collector = TimelineCollector(line_scenario)
+        with use_tracer(collector):
+            make_heuristic("full_one", "C4", 0.0).run(line_scenario)
+        path = tmp_path / "timeline.json"
+        path.write_text(
+            json.dumps(timeline_to_dict(collector.finalize())),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_renders_html_and_chrome_trace(
+        self, timeline_path, tmp_path, capsys
+    ):
+        import json
+
+        html = tmp_path / "report.html"
+        trace = tmp_path / "trace.json"
+        assert main(
+            [
+                "report",
+                "--timeline",
+                str(timeline_path),
+                "--html",
+                str(html),
+                "--chrome-trace",
+                str(trace),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "simulated-time telemetry" in out
+        assert html.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+        document = json.loads(trace.read_text(encoding="utf-8"))
+        assert document["traceEvents"]
+
+    def test_digest_alone_needs_no_outputs(self, timeline_path, capsys):
+        assert main(["report", "--timeline", str(timeline_path)]) == 0
+        assert "simulated-time telemetry" in capsys.readouterr().out
+
+    def test_exporter_flags_require_a_timeline(self, tmp_path, capsys):
+        code = main(
+            ["report", "--html", str(tmp_path / "out.html")]
+        )
+        assert code == 2
+        assert "--timeline" in capsys.readouterr().err
+
+
 class TestDescribe:
     def test_describe_output(self, scenario_path, capsys):
         capsys.readouterr()

@@ -487,7 +487,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the repro.staticcheck domain lint (rules R1-R6)",
+        help=(
+            "run the repro.staticcheck domain lint (rules R0-R9, "
+            "SARIF export, baseline ratchet)"
+        ),
     )
     add_lint_arguments(lint)
 

@@ -22,7 +22,11 @@ from repro.core.units import duration_is_zero
 
 @dataclass(frozen=True, order=True)
 class Interval:
-    """A half-open time interval ``[start, end)`` in canonical seconds."""
+    """A half-open time interval ``[start, end)`` in canonical seconds.
+
+    Raises:
+        ValueError: if ``end`` precedes ``start``.
+    """
 
     start: float
     end: float

@@ -94,12 +94,12 @@ def time_eq(a: float, b: float) -> bool:
     from).  For values produced by different arithmetic, use
     :func:`times_close`.
     """
-    return a == b  # staticcheck: disable=R2
+    return a == b
 
 
 def time_ne(a: float, b: float) -> bool:
     """Exact inequality of two canonical times (see :func:`time_eq`)."""
-    return a != b  # staticcheck: disable=R2
+    return a != b
 
 
 def times_close(a: float, b: float, tolerance: float = TIME_EPSILON) -> bool:
@@ -125,7 +125,7 @@ def size_is_zero(size_bytes: float) -> bool:
 
 def bandwidth_eq(a: float, b: float) -> bool:
     """Exact equality of two bandwidths (see :func:`time_eq`)."""
-    return a == b  # staticcheck: disable=R2
+    return a == b
 
 
 # ---------------------------------------------------------------------------

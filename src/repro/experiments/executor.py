@@ -45,7 +45,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.scenario import Scenario
 from repro.cost.criteria import CostCriterion, get_criterion
 from repro.cost.weights import EUWeights, as_weights
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DataStagingError
 from repro.experiments.runner import RunRecord, run_pair, run_scheduler
 from repro.faults.context import use_faults
 from repro.faults.plan import FaultPlan
@@ -461,7 +461,15 @@ class RunCache:
                     f"unexpected kind {document.get('kind')!r}"
                 )
             return run_record_from_dict(document["record"])
-        except Exception as exc:  # noqa: BLE001 - any corruption => miss
+        except (
+            DataStagingError,
+            ValueError,
+            KeyError,
+            TypeError,
+            OSError,
+            EOFError,
+            json.JSONDecodeError,
+        ) as exc:  # any recognized corruption shape => miss
             self.errors += 1
             self.quarantined += 1
             quarantine = path.with_name(f"{path.name}.quarantined")

@@ -20,6 +20,9 @@ def render_table(
     """Align ``rows`` under ``headers`` with a box of dashes.
 
     All cells are rendered right-aligned except the first column.
+
+    Raises:
+        ValueError: if a row's cell count disagrees with ``headers``.
     """
     columns = len(headers)
     for row in rows:

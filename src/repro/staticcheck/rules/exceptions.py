@@ -1,0 +1,505 @@
+"""R9: exception contracts on the public CLI/experiments surface.
+
+Two halves, one invariant: callers of the public surface must be able
+to handle failures by catching :class:`repro.errors.DataStagingError`
+(plus whatever builtins a function *documents*), and scheduling code
+must never silently swallow arbitrary failures.
+
+* **Contract half** (interprocedural): a public function in ``cli.py``,
+  ``__main__.py``, or ``experiments/`` may only let escape
+
+  - types defined in the tree's ``errors.py`` (the ``repro.errors``
+    family), and
+  - builtin exception types documented in a ``Raises:`` docstring
+    section somewhere along the raising call chain.
+
+  Raised-type sets propagate from callees to callers through the call
+  graph (direct and typed-method edges), minus the types each
+  ``try/except`` provably catches, and a type stops propagating once a
+  function on the chain documents it — the contract is then on record.
+
+* **Swallow half** (syntactic): a bare ``except:`` or a broad
+  ``except Exception/BaseException`` handler in scheduling code whose
+  body never re-raises is a finding.  Catch the narrow set the code can
+  actually recover from — for infrastructure code that means
+  ``repro.errors`` types plus the specific OS-level failures.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.staticcheck.engine import (
+    CheckContext,
+    Finding,
+    Module,
+    Rule,
+    register,
+)
+from repro.staticcheck.flow import solve
+from repro.staticcheck.graph import (
+    RESOLUTION_DIRECT,
+    RESOLUTION_METHOD,
+    FunctionNode,
+    ProjectGraph,
+)
+
+#: Top-level path components forming the public contract surface.
+CONTRACT_SCOPE = ("cli.py", "__main__.py", "experiments")
+
+#: Top-level path components the swallow half patrols.
+SWALLOW_SCOPE = (
+    "core",
+    "routing",
+    "heuristics",
+    "baselines",
+    "dynamic",
+    "experiments",
+    "faults",
+    "workload",
+    "observability",
+)
+
+#: Builtin exceptions a public function may always let escape: they are
+#: either not catchable by design (interpreter control flow) or signal
+#: programmer errors no contract should promise to absorb.
+ALWAYS_ALLOWED = frozenset(
+    {
+        "BaseException",
+        "KeyboardInterrupt",
+        "SystemExit",
+        "GeneratorExit",
+        "StopIteration",
+        "StopAsyncIteration",
+        "NotImplementedError",
+        "AssertionError",
+        "MemoryError",
+        "RecursionError",
+    }
+)
+
+#: Builtin exception classes by name (for issubclass catch matching).
+_BUILTIN_EXCEPTIONS: Dict[str, type] = {
+    name: obj
+    for name, obj in vars(builtins).items()
+    if isinstance(obj, type) and issubclass(obj, BaseException)
+}
+
+#: Handler names that catch everything.
+_CATCH_ALL = frozenset({"<bare>", "Exception", "BaseException"})
+
+
+def project_error_names(context: CheckContext) -> FrozenSet[str]:
+    """Exception class names of the scanned tree's ``errors.py``.
+
+    Falls back to the installed :mod:`repro.errors` hierarchy when the
+    tree carries no ``errors.py`` (e.g. a partial fixture tree).
+    """
+    module = context.module_for("errors.py")
+    if module is not None:
+        names = {
+            node.name
+            for node in module.tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+        if names:
+            return frozenset(names)
+    import repro.errors as _errors
+
+    return frozenset(
+        name
+        for name, obj in vars(_errors).items()
+        if isinstance(obj, type) and issubclass(obj, Exception)
+    )
+
+
+def documented_raises(
+    node: "FunctionNode | ast.ClassDef",
+) -> FrozenSet[str]:
+    """Exception names a definition's docstring contracts.
+
+    Understands Google-style ``Raises:`` sections (the house style) and
+    Sphinx ``:raises X:`` fields.  Dotted names contribute their tails.
+    A class docstring's section covers the constructor (the house style
+    documents ``__init__`` contracts on the class).
+    """
+    docstring = ast.get_docstring(node, clean=True)
+    if not docstring:
+        return frozenset()
+    names: Set[str] = set()
+    in_raises = False
+    for raw_line in docstring.splitlines():
+        line = raw_line.strip()
+        if line.lower().startswith(":raises"):
+            remainder = line.split(" ", 1)
+            if len(remainder) == 2:
+                head = remainder[1].split(":", 1)[0].strip()
+                names.update(_split_type_list(head))
+            continue
+        if line == "Raises:":
+            in_raises = True
+            continue
+        if in_raises:
+            if not raw_line.startswith((" ", "\t")) and line:
+                if line.endswith(":") and " " not in line:
+                    # A sibling section header (Args:, Returns:, ...).
+                    in_raises = False
+                    continue
+                in_raises = False
+                continue
+            if ":" in line:
+                head = line.split(":", 1)[0].strip()
+                names.update(_split_type_list(head))
+    return frozenset(names)
+
+
+def _split_type_list(text: str) -> Iterator[str]:
+    for part in text.replace(",", " ").split():
+        tail = part.split(".")[-1].strip("()")
+        if tail.isidentifier():
+            yield tail
+
+
+def _handler_names(handler: ast.ExceptHandler) -> Tuple[str, ...]:
+    """The type names one ``except`` clause catches."""
+    if handler.type is None:
+        return ("<bare>",)
+    names: List[str] = []
+    elements = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for element in elements:
+        if isinstance(element, ast.Name):
+            names.append(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.append(element.attr)
+    return tuple(names) if names else ("<unknown>",)
+
+
+def _catches(
+    handler_names: Sequence[str],
+    raised: str,
+    project_errors: FrozenSet[str],
+) -> bool:
+    """True when a handler name set provably catches ``raised``."""
+    for name in handler_names:
+        if name in _CATCH_ALL or name == raised:
+            return True
+        handler_type = _BUILTIN_EXCEPTIONS.get(name)
+        raised_type = _BUILTIN_EXCEPTIONS.get(raised)
+        if (
+            handler_type is not None
+            and raised_type is not None
+            and issubclass(raised_type, handler_type)
+        ):
+            return True
+        if name == "DataStagingError" and raised in project_errors:
+            return True
+    return False
+
+
+@dataclass
+class _RaiseEvent:
+    """One ``raise`` with the handler stacks guarding it."""
+
+    type_name: str
+    lineno: int
+    guards: Tuple[Tuple[str, ...], ...]
+
+
+@dataclass
+class _CallEvent:
+    """One project call with the handler stacks guarding it."""
+
+    targets: Tuple[str, ...]
+    guards: Tuple[Tuple[str, ...], ...]
+
+
+@dataclass
+class _FunctionSummary:
+    """Local escape-analysis facts of one function."""
+
+    raises: List[_RaiseEvent] = field(default_factory=list)
+    calls: List[_CallEvent] = field(default_factory=list)
+    documented: FrozenSet[str] = frozenset()
+
+
+class _EscapeVisitor(ast.NodeVisitor):
+    """Collect raise/call events with their enclosing try guards."""
+
+    def __init__(
+        self, project_sites: Dict[int, Tuple[str, ...]]
+    ) -> None:
+        self.summary = _FunctionSummary()
+        self._guards: List[Tuple[str, ...]] = []
+        self._current_handler: List[Tuple[str, ...]] = []
+        #: ``id(node)`` of project call nodes -> target qnames.
+        self._project_sites = project_sites
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scope: its raises do not escape by definition
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+    def visit_Try(self, node: ast.Try) -> None:
+        caught: Tuple[str, ...] = tuple(
+            name
+            for handler in node.handlers
+            for name in _handler_names(handler)
+        )
+        self._guards.append(caught)
+        for child in node.body:
+            self.visit(child)
+        self._guards.pop()
+        for handler in node.handlers:
+            self._current_handler.append(_handler_names(handler))
+            for child in handler.body:
+                self.visit(child)
+            self._current_handler.pop()
+        for child in node.orelse:
+            self.visit(child)
+        for child in node.finalbody:
+            self.visit(child)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        guards = tuple(self._guards)
+        if node.exc is None:
+            # A bare re-raise propagates what the handler caught.
+            if self._current_handler:
+                for name in self._current_handler[-1]:
+                    if name not in _CATCH_ALL and name != "<unknown>":
+                        self.summary.raises.append(
+                            _RaiseEvent(name, node.lineno, guards)
+                        )
+            return
+        target = node.exc
+        if isinstance(target, ast.Call):
+            target = target.func
+        name: Optional[str] = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name is not None:
+            self.summary.raises.append(
+                _RaiseEvent(name, node.lineno, guards)
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        targets = self._project_sites.get(id(node))
+        if targets:
+            self.summary.calls.append(
+                _CallEvent(targets, tuple(self._guards))
+            )
+        self.generic_visit(node)
+
+
+#: One escaping-fact element: ``(type name, origin qname, origin line)``.
+_Escape = Tuple[str, str, int]
+
+
+@register
+class ExceptionContractRule(Rule):
+    """R9: only contracted exception types escape the public surface."""
+
+    id = "R9"
+    title = "public surface leaks only repro.errors / documented builtins"
+    hint = (
+        "wrap the failure in a repro.errors type, catch it, or document "
+        "it in the docstring's Raises: section"
+    )
+    project = True
+    needs_graph = True
+
+    def check_project(self, context: CheckContext) -> Iterator[Finding]:
+        """Run both halves: broad swallows, then contract escapes."""
+        yield from self._swallow_findings(context)
+        yield from self._contract_findings(context)
+
+    # -- swallow half --------------------------------------------------
+
+    def _swallow_findings(
+        self, context: CheckContext
+    ) -> Iterator[Finding]:
+        for module in context.modules:
+            first = module.relpath.split("/", 1)[0]
+            if first not in SWALLOW_SCOPE:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                names = _handler_names(node)
+                broad = [name for name in names if name in _CATCH_ALL]
+                if not broad:
+                    continue
+                if any(
+                    isinstance(child, ast.Raise)
+                    for child in ast.walk(node)
+                ):
+                    continue
+                label = (
+                    "bare except:"
+                    if "<bare>" in broad
+                    else f"except {broad[0]}"
+                )
+                yield module.finding(
+                    self,
+                    node,
+                    f"{label} swallows every failure (no re-raise in the "
+                    f"handler); catch the narrow recoverable set — "
+                    f"repro.errors types and the specific OS-level "
+                    f"failures — instead",
+                )
+
+    # -- contract half -------------------------------------------------
+
+    def _contract_findings(
+        self, context: CheckContext
+    ) -> Iterator[Finding]:
+        graph = context.graph
+        if graph is None:
+            return
+        project_errors = project_error_names(context)
+        class_raises = self._class_docstring_raises(context)
+        summaries = self._summaries(graph, project_errors, class_raises)
+        bottom: FrozenSet[_Escape] = frozenset()
+
+        def transfer(
+            qname: str, facts: Dict[str, FrozenSet[_Escape]]
+        ) -> FrozenSet[_Escape]:
+            summary = summaries[qname]
+            escaping: Set[_Escape] = set()
+            for event in summary.raises:
+                if self._guarded(event.type_name, event.guards, project_errors):
+                    continue
+                escaping.add((event.type_name, qname, event.lineno))
+            for call in summary.calls:
+                for target in call.targets:
+                    for escape in facts.get(target, bottom):
+                        if self._guarded(
+                            escape[0], call.guards, project_errors
+                        ):
+                            continue
+                        escaping.add(escape)
+            return frozenset(
+                escape
+                for escape in escaping
+                if escape[0] not in summary.documented
+            )
+
+        facts = solve(graph, bottom, transfer)
+        modules_by_path = {
+            module.relpath: module for module in context.modules
+        }
+        for qname in sorted(graph.functions):
+            info = graph.functions[qname]
+            first = info.relpath.split("/", 1)[0]
+            if first not in CONTRACT_SCOPE or not info.is_public:
+                continue
+            module = modules_by_path[info.relpath]
+            for type_name, origin, lineno in sorted(facts[qname]):
+                origin_note = (
+                    f"raised at {origin.split('::', 1)[0]}:{lineno}"
+                    if origin != qname
+                    else f"raised on line {lineno}"
+                )
+                yield module.finding(
+                    self,
+                    info.node,
+                    f"public function {info.name} may leak {type_name} "
+                    f"({origin_note} in {origin}); only repro.errors "
+                    f"types or documented builtins may escape the "
+                    f"CLI/experiments surface",
+                )
+
+    @staticmethod
+    def _class_docstring_raises(
+        context: CheckContext,
+    ) -> Dict[Tuple[str, str], FrozenSet[str]]:
+        """``(relpath, class name) -> Raises:`` names of class docstrings.
+
+        The house style documents constructor contracts on the *class*
+        docstring (``Args:``/``Raises:`` next to the attributes), so
+        ``__init__``/``__post_init__`` inherit these.
+        """
+        documented: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        for module in context.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    names = documented_raises(node)
+                    if names:
+                        documented[(module.relpath, node.name)] = names
+        return documented
+
+    def _summaries(
+        self,
+        graph: ProjectGraph,
+        project_errors: FrozenSet[str],
+        class_raises: Dict[Tuple[str, str], FrozenSet[str]],
+    ) -> Dict[str, _FunctionSummary]:
+        summaries: Dict[str, _FunctionSummary] = {}
+        for qname, info in graph.functions.items():
+            project_sites: Dict[int, Tuple[str, ...]] = {
+                id(site.node): site.targets
+                for site in graph.callees(qname)
+                if site.resolution
+                in (RESOLUTION_DIRECT, RESOLUTION_METHOD)
+            }
+            visitor = _EscapeVisitor(project_sites)
+            for child in info.node.body:
+                visitor.visit(child)
+            summary = visitor.summary
+            summary.documented = documented_raises(info.node)
+            if info.class_name is not None and info.name in (
+                "__init__",
+                "__post_init__",
+            ):
+                summary.documented |= class_raises.get(
+                    (info.relpath, info.class_name), frozenset()
+                )
+            # Only builtin, non-allowed, non-project types are tracked:
+            # repro.errors types are always contract-clean, and names we
+            # cannot resolve cannot be judged.
+            summary.raises = [
+                event
+                for event in summary.raises
+                if event.type_name in _BUILTIN_EXCEPTIONS
+                and event.type_name not in ALWAYS_ALLOWED
+                and event.type_name not in project_errors
+            ]
+            summaries[qname] = summary
+        return summaries
+
+    @staticmethod
+    def _guarded(
+        type_name: str,
+        guards: Tuple[Tuple[str, ...], ...],
+        project_errors: FrozenSet[str],
+    ) -> bool:
+        return any(
+            _catches(handler_names, type_name, project_errors)
+            for handler_names in guards
+        )

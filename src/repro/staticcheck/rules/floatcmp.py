@@ -13,8 +13,9 @@ Detection is a name heuristic: a comparison is flagged when either
 operand's identifier (name, attribute, or subscripted container name)
 contains a time/bandwidth token (``start``, ``deadline``, ``seconds``,
 ``bandwidth``, ...).  String/None/bool operands are never flagged.
-``core/units.py`` itself implements the comparators and carries inline
-``# staticcheck: disable=R2`` suppressions.
+``core/units.py`` itself implements the comparators and carries an
+inline ``staticcheck: disable=R2`` suppression where the heuristic
+fires on its own implementation.
 """
 
 from __future__ import annotations

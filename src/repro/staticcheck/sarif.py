@@ -1,0 +1,235 @@
+"""SARIF 2.1.0 export for staticcheck findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard consumed by GitHub code scanning: CI uploads the document and
+findings surface as repository alerts anchored to the exact line.  The
+builder here emits the minimal conforming core — ``tool.driver`` with
+the full rule metadata, one ``result`` per finding with a physical
+location and a line-drift-stable ``partialFingerprints`` entry reusing
+the baseline fingerprint — and nothing environment-dependent: no
+timestamps, no absolute paths, no invocation blocks.  Two runs over the
+same tree serialize byte-identically (keys sorted, lists pre-sorted by
+the engine), which the determinism regression test asserts.
+
+:func:`validate_sarif` is a hand-rolled structural checker for the
+subset we emit (the container has no ``jsonschema``); the test suite
+uses it, and ``--format sarif`` runs it as a self-check before
+printing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.errors import ValidationError
+from repro.staticcheck.engine import Finding, Rule
+
+#: The canonical 2.1.0 schema URL GitHub's ingester recognizes.
+SARIF_SCHEMA_URI = (
+    "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+SARIF_VERSION = "2.1.0"
+
+#: Reported as tool.driver.version; bump on rule-set changes.
+STATICCHECK_VERSION = "2.0.0"
+
+TOOL_NAME = "repro.staticcheck"
+
+TOOL_INFORMATION_URI = (
+    "https://example.invalid/repro/docs/STATICCHECK.md"
+)
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    descriptor: Dict[str, object] = {
+        "id": rule.id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.title},
+        "defaultConfiguration": {"level": "error"},
+    }
+    if rule.hint:
+        descriptor["help"] = {"text": rule.hint}
+    return descriptor
+
+
+def build_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule]
+) -> Dict[str, object]:
+    """Assemble the SARIF document for one lint run.
+
+    Args:
+        findings: the active findings, already sorted by the engine.
+        rules: the rules that ran (every finding's rule must be among
+            them — they populate ``tool.driver.rules`` and the
+            ``ruleIndex`` back-references).
+
+    Raises:
+        ValidationError: when a finding references a rule that did not
+            run (a caller bug that would emit a dangling ``ruleIndex``).
+    """
+    ordered_rules = sorted(rules, key=lambda rule: rule.id)
+    rule_index = {rule.id: index for index, rule in enumerate(ordered_rules)}
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        if finding.rule not in rule_index:
+            raise ValidationError(
+                f"finding references unknown rule {finding.rule!r}"
+            )
+        fingerprint = "/".join(finding.fingerprint())
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": "error",
+                "message": {
+                    "text": (
+                        f"{finding.message} [hint: {finding.hint}]"
+                        if finding.hint
+                        else finding.message
+                    )
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.column + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "staticcheckFingerprint/v1": fingerprint
+                },
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": STATICCHECK_VERSION,
+                        "informationUri": TOOL_INFORMATION_URI,
+                        "rules": [
+                            _rule_descriptor(rule)
+                            for rule in ordered_rules
+                        ],
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(document: Dict[str, object]) -> str:
+    """Deterministic serialization (sorted keys, 2-space indent)."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def validate_sarif(document: object) -> None:
+    """Structurally validate the SARIF subset staticcheck emits.
+
+    Checks the invariants GitHub's ingester depends on: schema/version
+    markers, a non-empty ``runs`` array, a driver with name and rules,
+    and for every result a known ``ruleId``, a consistent ``ruleIndex``,
+    and a physical location with a positive 1-based line.
+
+    Raises:
+        ValidationError: on the first structural violation found.
+    """
+
+    def require(condition: bool, message: str) -> None:
+        if not condition:
+            raise ValidationError(f"invalid SARIF: {message}")
+
+    require(isinstance(document, dict), "document is not an object")
+    assert isinstance(document, dict)
+    require(
+        document.get("$schema") == SARIF_SCHEMA_URI,
+        "missing or wrong $schema",
+    )
+    require(
+        document.get("version") == SARIF_VERSION,
+        "version must be '2.1.0'",
+    )
+    runs = document.get("runs")
+    require(
+        isinstance(runs, list) and len(runs) >= 1, "runs must be non-empty"
+    )
+    assert isinstance(runs, list)
+    for run in runs:
+        require(isinstance(run, dict), "run is not an object")
+        driver = run.get("tool", {}).get("driver", {})
+        require(
+            isinstance(driver.get("name"), str) and driver["name"],
+            "tool.driver.name missing",
+        )
+        rules = driver.get("rules", [])
+        require(isinstance(rules, list), "tool.driver.rules must be a list")
+        rule_ids = []
+        for descriptor in rules:
+            require(
+                isinstance(descriptor, dict)
+                and isinstance(descriptor.get("id"), str),
+                "rule descriptor without id",
+            )
+            rule_ids.append(descriptor["id"])
+        require(
+            len(set(rule_ids)) == len(rule_ids), "duplicate rule ids"
+        )
+        results = run.get("results")
+        require(isinstance(results, list), "run.results must be a list")
+        assert isinstance(results, list)
+        for result in results:
+            require(isinstance(result, dict), "result is not an object")
+            rule_id = result.get("ruleId")
+            require(
+                rule_id in rule_ids,
+                f"result ruleId {rule_id!r} not among driver rules",
+            )
+            index = result.get("ruleIndex")
+            require(
+                isinstance(index, int)
+                and 0 <= index < len(rule_ids)
+                and rule_ids[index] == rule_id,
+                f"ruleIndex inconsistent for {rule_id!r}",
+            )
+            message = result.get("message", {})
+            require(
+                isinstance(message, dict)
+                and isinstance(message.get("text"), str)
+                and bool(message["text"]),
+                "result message.text missing",
+            )
+            locations = result.get("locations")
+            require(
+                isinstance(locations, list) and len(locations) >= 1,
+                "result without locations",
+            )
+            assert isinstance(locations, list)
+            for location in locations:
+                physical = location.get("physicalLocation", {})
+                artifact = physical.get("artifactLocation", {})
+                require(
+                    isinstance(artifact.get("uri"), str)
+                    and bool(artifact["uri"])
+                    and not artifact["uri"].startswith("/"),
+                    "artifactLocation.uri must be a relative path",
+                )
+                region = physical.get("region", {})
+                require(
+                    isinstance(region.get("startLine"), int)
+                    and region["startLine"] >= 1,
+                    "region.startLine must be a positive integer",
+                )

@@ -1,0 +1,22 @@
+"""Seeded R7 violation: impurity two calls below a fingerprint."""
+
+import random
+from typing import Dict
+
+SEEN: Dict[str, float] = {}
+
+
+def jitter() -> float:
+    """Draw from the process-global RNG (deliberately impure)."""
+    return random.random()
+
+
+def canonical(value: float) -> float:
+    """Normalize a value, leaning on the impure helper."""
+    SEEN["last"] = value
+    return value + jitter()
+
+
+def scenario_fingerprint(value: float) -> str:
+    """A fingerprint whose call tree is impure (deliberately bad)."""
+    return str(canonical(value))

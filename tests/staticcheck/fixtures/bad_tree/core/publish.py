@@ -1,0 +1,15 @@
+"""Seeded R8 violation: mutating a record after publishing it."""
+
+from typing import Any, Dict, List
+
+
+def publish_record(cache: Any, record: Dict[str, float]) -> None:
+    """Insert then mutate (deliberately bad)."""
+    cache.store(record)
+    record["elapsed"] = 1.0
+
+
+def publish_payload(tracer: Any, payload: List[float]) -> None:
+    """Hand a payload to a tracer hook then grow it (deliberately bad)."""
+    tracer.on_cell_done(payload)
+    payload.append(2.0)

@@ -1,0 +1,6 @@
+"""Seeded R0 violation: a suppression that silences nothing."""
+
+
+def doubled(value: float) -> float:
+    """A perfectly clean line carrying a stale waiver."""
+    return value * 2.0  # staticcheck: disable=R1

@@ -1,0 +1,29 @@
+"""Seeded R9 violations: an undocumented leak and a silent swallow."""
+
+from typing import Callable, List
+
+
+def parse_counts(tokens: List[str]) -> List[int]:
+    """Parse tokens, leaking ValueError undocumented (deliberately bad)."""
+    return [int(token) for token in tokens]
+
+
+def run_sweep(sizes: List[str]) -> int:
+    """A public entry leaking through a helper (deliberately bad)."""
+    counts = parse_counts(sizes)
+    return sum(counts) + scale(len(counts))
+
+
+def scale(count: int) -> int:
+    """Raise an undocumented builtin (deliberately bad)."""
+    if count < 0:
+        raise ValueError("negative count")
+    return count * 2
+
+
+def run_quietly(task: Callable[[], None]) -> None:
+    """Swallow every failure without re-raising (deliberately bad)."""
+    try:
+        task()
+    except Exception:
+        pass

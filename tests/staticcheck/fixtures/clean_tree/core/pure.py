@@ -1,0 +1,21 @@
+"""Sanctioned R7 counterpart: a fingerprint with a pure call tree."""
+
+import hashlib
+import random
+from typing import Sequence
+
+
+def canonical(values: Sequence[float]) -> str:
+    """Normalize deterministically — sorted, fixed formatting."""
+    return ",".join(f"{value:.6f}" for value in sorted(values))
+
+
+def scenario_fingerprint(values: Sequence[float]) -> str:
+    """A fingerprint that is a pure function of its inputs."""
+    digest = hashlib.sha256(canonical(values).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def sample(rng: random.Random, limit: float) -> float:
+    """Draw from an injected seeded stream (not reachable from above)."""
+    return rng.uniform(0.0, limit)

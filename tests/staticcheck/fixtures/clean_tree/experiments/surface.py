@@ -1,0 +1,29 @@
+"""Sanctioned R9 counterpart: documented contracts, no silent swallows."""
+
+from typing import Callable, List
+
+
+def parse_counts(tokens: List[str]) -> List[int]:
+    """Parse tokens into counts.
+
+    Raises:
+        ValueError: if a token is not an integer literal.
+    """
+    return [int(token) for token in tokens]
+
+
+def run_sweep(sizes: List[str]) -> int:
+    """Sum the parsed counts.
+
+    Raises:
+        ValueError: if a size token is not an integer literal.
+    """
+    return sum(parse_counts(sizes))
+
+
+def run_quietly(task: Callable[[], None]) -> None:
+    """Tolerate the one recoverable failure shape; re-raise the rest."""
+    try:
+        task()
+    except OSError:
+        return

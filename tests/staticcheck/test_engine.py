@@ -36,14 +36,18 @@ def test_resolve_rules_rejects_unknown_ids():
         resolve_rules(["R99"])
 
 
-def test_resolve_rules_returns_all_six_by_default():
+def test_resolve_rules_returns_full_registry_by_default():
     assert sorted(rule.id for rule in resolve_rules(None)) == [
+        "R0",
         "R1",
         "R2",
         "R3",
         "R4",
         "R5",
         "R6",
+        "R7",
+        "R8",
+        "R9",
     ]
 
 

@@ -1,0 +1,124 @@
+"""SARIF export: structure, self-validation, byte determinism."""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.staticcheck.cli import main as lint_main
+from repro.staticcheck.engine import resolve_rules, run_check
+from repro.staticcheck.sarif import (
+    SARIF_SCHEMA_URI,
+    build_sarif,
+    render_sarif,
+    validate_sarif,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD_TREE = FIXTURES / "bad_tree"
+
+
+@pytest.fixture(scope="module")
+def bad_tree_document():
+    rules = resolve_rules(None)
+    result = run_check(BAD_TREE, rules=rules)
+    return build_sarif(result.findings, rules)
+
+
+def test_document_carries_schema_version_and_rules(bad_tree_document):
+    assert bad_tree_document["$schema"] == SARIF_SCHEMA_URI
+    assert bad_tree_document["version"] == "2.1.0"
+    run = bad_tree_document["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.staticcheck"
+    rule_ids = [descriptor["id"] for descriptor in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert set(rule_ids) == {
+        "R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+    }
+
+
+def test_results_reference_rules_and_locations(bad_tree_document):
+    run = bad_tree_document["runs"][0]
+    rule_ids = [d["id"] for d in run["tool"]["driver"]["rules"]]
+    assert run["results"], "bad tree must produce results"
+    for result in run["results"]:
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+        uri = result["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert not uri.startswith("/")
+        assert result["partialFingerprints"][
+            "staticcheckFingerprint/v1"
+        ].startswith(result["ruleId"])
+
+
+def test_validate_sarif_accepts_own_output(bad_tree_document):
+    validate_sarif(bad_tree_document)
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda doc: doc.pop("$schema"),
+        lambda doc: doc.update(version="2.0.0"),
+        lambda doc: doc.update(runs=[]),
+        lambda doc: doc["runs"][0]["results"][0].update(ruleId="R99"),
+        lambda doc: doc["runs"][0]["results"][0].update(ruleIndex=0),
+        lambda doc: doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"].update(startLine=0),
+        lambda doc: doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["artifactLocation"].update(uri="/abs/path.py"),
+    ],
+)
+def test_validate_sarif_rejects_structural_breakage(
+    bad_tree_document, mutate
+):
+    broken = copy.deepcopy(bad_tree_document)
+    # Point the mutations at a result that is never index-0-consistent
+    # by construction: use the last result (a non-R0 rule).
+    broken["runs"][0]["results"] = [broken["runs"][0]["results"][-1]]
+    mutate(broken)
+    with pytest.raises(ValidationError):
+        validate_sarif(broken)
+
+
+def test_render_is_byte_deterministic():
+    rules = resolve_rules(None)
+    documents = []
+    for _ in range(2):
+        result = run_check(BAD_TREE, rules=rules)
+        documents.append(render_sarif(build_sarif(result.findings, rules)))
+    assert documents[0] == documents[1]
+    assert documents[0].endswith("\n")
+
+
+def test_cli_sarif_output_parses_and_validates(capsys):
+    exit_code = lint_main(
+        [str(BAD_TREE), "--no-baseline", "--format", "sarif"]
+    )
+    assert exit_code == 1
+    document = json.loads(capsys.readouterr().out)
+    validate_sarif(document)
+    rule_ids = {
+        result["ruleId"] for result in document["runs"][0]["results"]
+    }
+    assert rule_ids == {
+        "R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+    }
+
+
+def test_build_sarif_rejects_findings_of_unknown_rules():
+    rules = resolve_rules(["R2"])
+    result = run_check(BAD_TREE, rules=resolve_rules(None))
+    with pytest.raises(ValidationError):
+        build_sarif(result.findings, rules)

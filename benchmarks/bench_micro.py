@@ -8,7 +8,7 @@ track performance regressions rather than paper results.
 
 import pytest
 
-from repro.core.intervals import Interval
+from repro.core.intervals import Interval, IntervalSet
 from repro.core.state import NetworkState
 from repro.core.timeline import CapacityTimeline
 from repro.heuristics.registry import make_heuristic
@@ -54,6 +54,60 @@ def test_timeline_reserve_and_query(benchmark):
         return total
 
     assert benchmark(exercise) >= 0.0
+
+
+def test_dijkstra_reference_kernel(benchmark, reduced_scenario):
+    """The object-walking loop, for comparison against the CSR kernel
+    timed by :func:`test_dijkstra_single_item` (compiled is the default)."""
+    state = NetworkState(reduced_scenario)
+    item_id = reduced_scenario.requested_item_ids()[0]
+    tree = benchmark(
+        compute_shortest_path_tree, state, item_id, use_compiled=False
+    )
+    assert tree.seed_machines()
+
+
+def _earliest_fit_probe(busy, window, count):
+    total = 0.0
+    for k in range(count):
+        start = busy.first_fit(7.0, window.start, window.end, float(k * 3))
+        if start is not None:
+            total += start
+    return total
+
+
+def test_earliest_fit_dense(benchmark):
+    """Rejection-heavy probing of a set with many short busy intervals."""
+    busy = IntervalSet(
+        Interval(float(k * 10), float(k * 10 + 8)) for k in range(100)
+    )
+    window = Interval(0.0, 1000.0)
+    assert benchmark(_earliest_fit_probe, busy, window, 200) >= 0.0
+
+
+def test_earliest_fit_sparse(benchmark):
+    """Mostly-free link: probes should return at the first gap."""
+    busy = IntervalSet(
+        Interval(float(k * 200), float(k * 200 + 5)) for k in range(5)
+    )
+    window = Interval(0.0, 1000.0)
+    assert benchmark(_earliest_fit_probe, busy, window, 200) >= 0.0
+
+
+def test_min_free_span_probe(benchmark):
+    """The storage feasibility probe of ``earliest_transfer``."""
+    timeline = CapacityTimeline(1_000_000.0)
+    for k in range(200):
+        start = float((k * 37) % 1000)
+        timeline.reserve(100.0, Interval(start, start + 50.0))
+
+    def probe():
+        total = 0.0
+        for k in range(400):
+            total += timeline.min_free_span(float(k), float(k + 60))
+        return total
+
+    assert benchmark(probe) >= 0.0
 
 
 def test_scenario_generation(benchmark):

@@ -87,10 +87,11 @@ class IntervalSet:
     a logic error worth failing loudly on.
     """
 
-    __slots__ = ("_starts", "_intervals")
+    __slots__ = ("_starts", "_ends", "_intervals")
 
     def __init__(self, intervals: Iterable[Interval] = ()) -> None:
         self._starts: List[float] = []
+        self._ends: List[float] = []
         self._intervals: List[Interval] = []
         for interval in sorted(intervals):
             self.add(interval)
@@ -109,9 +110,16 @@ class IntervalSet:
         return f"IntervalSet({self._intervals!r})"
 
     def copy(self) -> "IntervalSet":
-        """An independent copy (intervals themselves are immutable)."""
-        clone = IntervalSet()
+        """An independent copy (intervals themselves are immutable).
+
+        Built through ``__new__`` — the members are already sorted and
+        pairwise disjoint, so re-validating them through ``add`` would be
+        pure overhead on the clone-per-candidate paths (rollout,
+        exhaustive search).
+        """
+        clone = IntervalSet.__new__(IntervalSet)
         clone._starts = list(self._starts)
+        clone._ends = list(self._ends)
         clone._intervals = list(self._intervals)
         return clone
 
@@ -123,19 +131,24 @@ class IntervalSet:
         """True if ``candidate`` overlaps no member interval."""
         if candidate.is_empty():
             return True
-        # The only members that can overlap are the one starting at or before
-        # the candidate and the ones starting inside it.
-        idx = bisect.bisect_right(self._starts, candidate.start)
-        if idx > 0 and self._intervals[idx - 1].overlaps(candidate):
+        return self.span_is_free(candidate.start, candidate.end)
+
+    def span_is_free(self, start: float, end: float) -> bool:
+        """Float-core overlap query over the half-open ``[start, end)``.
+
+        Equivalent to :meth:`is_free` for a non-empty candidate, but takes
+        the bounds as plain floats so hot callers need not build an
+        :class:`Interval`.  Members are non-empty and pairwise disjoint, so
+        the only candidates for overlap are the member starting at or
+        before ``start`` (overlaps iff it ends after ``start``) and the
+        first member starting after ``start`` (overlaps iff it starts
+        before ``end``).
+        """
+        starts = self._starts
+        idx = bisect.bisect_right(starts, start)
+        if idx > 0 and self._ends[idx - 1] > start:
             return False
-        while idx < len(self._intervals):
-            member = self._intervals[idx]
-            if member.start >= candidate.end:
-                break
-            if member.overlaps(candidate):
-                return False
-            idx += 1
-        return True
+        return not (idx < len(starts) and starts[idx] < end)
 
     def add(self, interval: Interval) -> None:
         """Insert a new busy interval.
@@ -151,6 +164,7 @@ class IntervalSet:
             )
         idx = bisect.bisect_left(self._starts, interval.start)
         self._starts.insert(idx, interval.start)
+        self._ends.insert(idx, interval.end)
         self._intervals.insert(idx, interval)
 
     def remove(self, interval: Interval) -> None:
@@ -162,6 +176,7 @@ class IntervalSet:
         idx = bisect.bisect_left(self._starts, interval.start)
         if idx < len(self._intervals) and self._intervals[idx] == interval:
             del self._starts[idx]
+            del self._ends[idx]
             del self._intervals[idx]
             return
         raise KeyError(f"{interval!r} is not a member of the set")
@@ -185,33 +200,58 @@ class IntervalSet:
             earliest: additional lower bound on the start time (e.g. the
                 moment the sender holds the data item).
         """
+        return self.first_fit(duration, window.start, window.end, earliest)
+
+    def first_fit(
+        self,
+        duration: float,
+        window_start: float,
+        window_end: float,
+        earliest: float = float("-inf"),
+    ) -> Optional[float]:
+        """Float-core of :meth:`earliest_fit` (no :class:`Interval` input).
+
+        Identical semantics, but the bounding window arrives as two plain
+        floats and the scan reads the parallel ``_starts``/``_ends``
+        lists, so the feasibility probes of
+        :meth:`~repro.core.state.NetworkState.earliest_transfer` allocate
+        nothing when they reject.
+
+        Raises:
+            ValueError: if ``duration`` is negative.
+        """
         if duration < 0:
             raise ValueError(f"duration must be non-negative, got {duration}")
-        cursor = max(window.start, earliest)
-        if cursor + duration > window.end:
+        cursor = max(window_start, earliest)
+        if cursor + duration > window_end:
             return None
         if duration_is_zero(duration):
             # A zero-length booking overlaps nothing, but its start must
             # still lie *inside* the half-open window: ``window.end`` is
             # not a member of ``[Lst, Let)``, so a cursor clamped to the
             # window's end (or an empty window) yields no fit.
-            if cursor >= window.end:
+            if cursor >= window_end:
                 return None
             return cursor
+        starts = self._starts
+        ends = self._ends
+        count = len(starts)
         # Skip members ending at or before the cursor.
-        idx = bisect.bisect_right(self._starts, cursor)
-        if idx > 0 and self._intervals[idx - 1].end > cursor:
+        idx = bisect.bisect_right(starts, cursor)
+        if idx > 0 and ends[idx - 1] > cursor:
             # Cursor lands inside a member; move to its end.
-            cursor = self._intervals[idx - 1].end
+            cursor = ends[idx - 1]
         while True:
-            if cursor + duration > window.end:
+            if cursor + duration > window_end:
                 return None
-            if idx >= len(self._intervals):
+            if idx >= count:
                 return cursor
-            member = self._intervals[idx]
-            if member.start >= cursor + duration:
+            member_start = starts[idx]
+            if member_start >= cursor + duration:
                 return cursor
-            cursor = max(cursor, member.end)
+            member_end = ends[idx]
+            if member_end > cursor:
+                cursor = member_end
             idx += 1
 
     def intervals(self) -> Tuple[Interval, ...]:

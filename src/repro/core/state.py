@@ -178,12 +178,15 @@ class NetworkState:
             plan = None
         self._faults = plan
         network = scenario.network
-        # Per-virtual-link delivered bandwidth; equals the nominal rate
-        # unless a fault plan degrades the owning physical link.  Immutable
-        # after construction, so clones share the list.
-        self._effective_bandwidth: List[float] = [
-            link.bandwidth for link in network.virtual_links
-        ]
+        # Per-physical-link degradation factors (sub-1.0 only) and the
+        # epoch counting their changes.  The per-virtual-link delivered
+        # bandwidth list is derived lazily in effective_bandwidths() and
+        # cached until the epoch moves, so tree computations share one
+        # list instead of rebuilding it per search.
+        self._degradation_factors: Dict[int, float] = {}
+        self._degradation_epoch: int = 0
+        self._effective_bandwidth: Optional[List[float]] = None
+        self._effective_cache_epoch: int = -1
         self._busy: List[IntervalSet] = [
             IntervalSet() for _ in network.virtual_links
         ]
@@ -258,14 +261,14 @@ class NetworkState:
         faults apply here — churn is replayed by the dynamic driver.
         """
         plan.check_against(self._scenario)
+        factors = plan.bandwidth_factors()
+        if factors:
+            self._degradation_factors.update(factors)
+            self._degradation_epoch += 1
         masked = 0
         degraded = 0
         for link in self._scenario.network.virtual_links:
-            factor = plan.bandwidth_factor(link.physical_id)
-            if factor < 1.0:
-                self._effective_bandwidth[link.link_id] = (
-                    link.bandwidth * factor
-                )
+            if link.physical_id in factors:
                 degraded += 1
             for outage in plan.outage_intervals(link.physical_id):
                 clipped = outage.intersection(link.window)
@@ -291,8 +294,14 @@ class NetworkState:
         clone._scenario = self._scenario
         clone._tracer = self._tracer
         clone._faults = self._faults
-        # Effective bandwidth is immutable after construction — shared.
+        # The cached bandwidth list is shared (a degradation in either
+        # state rebuilds a fresh list rather than mutating the old one);
+        # the factor table is copied because degrade_physical_link
+        # mutates it in place.
+        clone._degradation_factors = dict(self._degradation_factors)
+        clone._degradation_epoch = self._degradation_epoch
         clone._effective_bandwidth = self._effective_bandwidth
+        clone._effective_cache_epoch = self._effective_cache_epoch
         clone._busy = [busy.copy() for busy in self._busy]
         clone._timelines = [timeline.copy() for timeline in self._timelines]
         clone._copies = [dict(copies) for copies in self._copies]
@@ -342,16 +351,36 @@ class NetworkState:
 
     def effective_bandwidth(self, link_id: int) -> float:
         """Delivered bandwidth of a virtual link (nominal unless degraded)."""
-        return self._effective_bandwidth[link_id]
+        return self.effective_bandwidths()[link_id]
 
     def effective_bandwidths(self) -> List[float]:
         """Per-link delivered bandwidth, indexed by ``link_id``.
 
         The routing layer's relaxation loop indexes this list directly on
         its hot path instead of calling :meth:`effective_bandwidth` per
-        edge.  Live object — do not mutate.
+        edge.  The list is derived from the degradation table once per
+        :attr:`degradation_epoch` and cached — a rebuild allocates a fresh
+        list, so callers (and clones) may hold the returned one across
+        degradations without seeing it change underneath them.  Do not
+        mutate.
         """
-        return self._effective_bandwidth
+        cached = self._effective_bandwidth
+        if (
+            cached is not None
+            and self._effective_cache_epoch == self._degradation_epoch
+        ):
+            return cached
+        network = self._scenario.network
+        bandwidths = [link.bandwidth for link in network.virtual_links]
+        factors = self._degradation_factors
+        if factors:
+            for link in network.virtual_links:
+                factor = factors.get(link.physical_id)
+                if factor is not None:
+                    bandwidths[link.link_id] = link.bandwidth * factor
+        self._effective_bandwidth = bandwidths
+        self._effective_cache_epoch = self._degradation_epoch
+        return bandwidths
 
     def copies(self, item_id: int) -> Dict[int, CopyRecord]:
         """Current copies of an item, keyed by machine (snapshot)."""
@@ -410,6 +439,19 @@ class NetworkState:
         caches bind to the epoch to tell states apart.
         """
         return self._epoch
+
+    @property
+    def degradation_epoch(self) -> int:
+        """Bumped whenever a bandwidth degradation is applied or deepened.
+
+        Transfer durations are computed from the effective bandwidths, so
+        a moved epoch invalidates every cached duration (and, through the
+        :class:`~repro.heuristics.base.TreeCache`, every cached tree) in
+        one comparison.  Degradations are not journalled — they change
+        durations globally rather than removing one resource — so caches
+        must treat a changed bandwidth epoch as a global invalidation.
+        """
+        return self._degradation_epoch
 
     @property
     def capacity_epoch(self) -> int:
@@ -506,7 +548,7 @@ class NetworkState:
         item = self._scenario.item(item_id)
         if duration is None:
             duration = link.transfer_seconds(
-                item.size, self._effective_bandwidth[link.link_id]
+                item.size, self.effective_bandwidths()[link.link_id]
             )
         release = self._release_matrix[item_id][link.destination]
         sender_release = self._release_matrix[item_id][link.source]
@@ -518,22 +560,25 @@ class NetworkState:
             release,
             self._link_cutoff[link.link_id],
         )
-        if window_end <= link.start:
+        window_start = link.start
+        if window_end <= window_start:
             return self._memo_reject(
                 memo_key, item_id, link.link_id, REASON_WINDOW_CLOSED
             )
-        window = Interval(link.start, window_end)
+        # The probe loop below runs once per edge relaxation of every
+        # Dijkstra search, so it stays in the float-core API: no Interval
+        # is constructed unless a feasible plan is actually found.
+        item_size = item.size
         timeline = self._timelines[link.destination]
         busy = self._busy[link.link_id]
         cursor = sender_ready
         while True:
-            start = busy.earliest_fit(duration, window, earliest=cursor)
+            start = busy.first_fit(duration, window_start, window_end, cursor)
             if start is None:
                 return self._memo_reject(
                     memo_key, item_id, link.link_id, REASON_NO_LINK_SLOT
                 )
-            residency = Interval(start, release)
-            if timeline.can_reserve(item.size, residency):
+            if timeline.can_reserve_span(item_size, start, release):
                 plan = TransferPlan(
                     item_id=item_id,
                     link=link,
@@ -543,10 +588,10 @@ class NetworkState:
                 )
                 self._transfer_memo[memo_key] = (plan, None)
                 return plan
-            next_start = self._next_capacity_start(
-                timeline, item.size, start, release
+            next_start = timeline.next_sufficient_start(
+                item_size, start, release
             )
-            if next_start is None or next_start + duration > window.end:
+            if next_start is None or next_start + duration > window_end:
                 return self._memo_reject(
                     memo_key, item_id, link.link_id, REASON_NO_STORAGE
                 )
@@ -569,39 +614,6 @@ class NetworkState:
         if self._tracer.enabled:
             self._tracer.on_transfer_rejected(item_id, link_id, reason)
         return None
-
-    @staticmethod
-    def _next_capacity_start(
-        timeline: CapacityTimeline,
-        amount: float,
-        start: float,
-        release: float,
-    ) -> Optional[float]:
-        """Smallest ``t > start`` with ``amount`` free throughout ``[t, release)``.
-
-        Later starts only shrink the residency interval, so the answer is the
-        end of the *last* timeline segment intersecting ``[start, release)``
-        whose free capacity is below ``amount``.  Returns ``None`` when that
-        deficiency extends up to ``release`` itself (no start can help).
-        Callers invoke this only after ``can_reserve`` failed, so a deficient
-        segment always exists.
-        """
-        breakpoints = timeline.breakpoints()
-        last_deficient_end: Optional[float] = None
-        for idx, (seg_start, free) in enumerate(breakpoints):
-            if seg_start >= release:
-                break
-            seg_end = (
-                breakpoints[idx + 1][0]
-                if idx + 1 < len(breakpoints)
-                else float("inf")
-            )
-            if seg_end <= start or free >= amount:
-                continue
-            last_deficient_end = seg_end
-        if last_deficient_end is None or last_deficient_end >= release:
-            return None
-        return last_deficient_end
 
     # -- mutation ---------------------------------------------------------------
 
@@ -783,6 +795,52 @@ class NetworkState:
         self._transfer_memo.clear()
         if self._tracer.enabled:
             self._tracer.on_link_disabled(link_id, at_time)
+
+    def degrade_physical_link(self, physical_id: int, factor: float) -> None:
+        """Scale a physical link's delivered bandwidth by ``factor``.
+
+        Models a dynamic degradation: every virtual link of the physical
+        link delivers ``nominal * factor`` from now on, lengthening all
+        future transfer durations.  Like outages, degradations are
+        permanent and may only tighten — replacing an existing factor
+        with a larger one would shorten durations and is rejected.  Bumps
+        the :attr:`degradation_epoch` (callers holding cached duration
+        tables or trees must recompute) and the revision counter of every
+        affected virtual link.
+
+        Raises:
+            ValueError: if ``factor`` is outside ``(0, 1]``.
+            SchedulingError: if the physical link is unknown or the new
+                factor does not tighten the existing one.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(
+                f"degradation factor must be in (0, 1], got {factor}"
+            )
+        network = self._scenario.network
+        if not any(
+            plink.physical_id == physical_id
+            for plink in network.physical_links
+        ):
+            raise SchedulingError(
+                f"cannot degrade unknown physical link {physical_id}"
+            )
+        current = self._degradation_factors.get(physical_id, 1.0)
+        if factor >= current:
+            raise SchedulingError(
+                f"physical link {physical_id} already degraded to "
+                f"{current}; cannot loosen to {factor}"
+            )
+        self._degradation_factors[physical_id] = factor
+        self._degradation_epoch += 1
+        degraded = 0
+        for link in network.virtual_links:
+            if link.physical_id == physical_id:
+                self._link_revision[link.link_id] += 1
+                degraded += 1
+        self._transfer_memo.clear()
+        if self._tracer.enabled:
+            self._tracer.on_faults_applied(0, degraded)
 
     def remove_copy(self, item_id: int, machine: int, at_time: float) -> None:
         """Delete a resident copy at ``at_time`` (a dynamic loss event).

@@ -15,7 +15,7 @@ queries before any reservation are well-defined.
 from __future__ import annotations
 
 import bisect
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.intervals import Interval
 from repro.core.units import size_is_zero, time_eq
@@ -66,21 +66,66 @@ class CapacityTimeline:
         An empty interval imposes no constraint and reports the total
         capacity.
         """
-        if interval.is_empty():
+        return self.min_free_span(interval.start, interval.end)
+
+    def min_free_span(self, start: float, end: float) -> float:
+        """Float-core of :meth:`min_free` over half-open ``[start, end)``.
+
+        Both breakpoints bounding the span are found by bisection, so the
+        walk touches exactly the segments intersecting the span and the
+        hot feasibility probes need not build an :class:`Interval`.
+        """
+        if end <= start:
             return self._capacity
-        lo = bisect.bisect_right(self._times, interval.start) - 1
-        minimum = self._values[lo]
-        idx = lo + 1
-        while idx < len(self._times) and self._times[idx] < interval.end:
-            minimum = min(minimum, self._values[idx])
-            idx += 1
+        times = self._times
+        values = self._values
+        lo = bisect.bisect_right(times, start) - 1
+        hi = bisect.bisect_left(times, end, lo + 1)
+        minimum = values[lo]
+        for idx in range(lo + 1, hi):
+            value = values[idx]
+            if value < minimum:
+                minimum = value
         return minimum
 
     def can_reserve(self, amount: float, interval: Interval) -> bool:
         """True if ``amount`` bytes are free throughout ``interval``."""
+        return self.can_reserve_span(amount, interval.start, interval.end)
+
+    def can_reserve_span(self, amount: float, start: float, end: float) -> bool:
+        """Float-core of :meth:`can_reserve` (no :class:`Interval` input)."""
         if amount < 0:
             raise ValueError(f"amount must be non-negative, got {amount}")
-        return self.min_free(interval) >= amount
+        return self.min_free_span(start, end) >= amount
+
+    def next_sufficient_start(
+        self, amount: float, start: float, release: float
+    ) -> Optional[float]:
+        """Smallest ``t > start`` with ``amount`` free throughout ``[t, release)``.
+
+        Later starts only shrink the residency interval, so the answer is
+        the end of the *last* timeline segment intersecting
+        ``[start, release)`` whose free capacity is below ``amount``.
+        Returns ``None`` when that deficiency extends up to ``release``
+        itself (no start can help).  Callers invoke this only after
+        :meth:`can_reserve_span` failed, so a deficient segment always
+        exists.
+        """
+        times = self._times
+        values = self._values
+        count = len(times)
+        lo = bisect.bisect_right(times, start) - 1
+        hi = bisect.bisect_left(times, release, lo + 1)
+        last_deficient_end: Optional[float] = None
+        for idx in range(lo, hi):
+            if values[idx] >= amount:
+                continue
+            last_deficient_end = (
+                times[idx + 1] if idx + 1 < count else float("inf")
+            )
+        if last_deficient_end is None or last_deficient_end >= release:
+            return None
+        return last_deficient_end
 
     def reserve(self, amount: float, interval: Interval) -> None:
         """Subtract ``amount`` bytes of free capacity over ``interval``.

@@ -109,6 +109,8 @@ class DynamicDriver:
         weights: E-U weights or raw ``log10`` ratio.
         use_tree_cache: forwarded to the engine (each pass still gets a
             fresh cache — plans from an earlier "now" are never reused).
+        use_compiled: forwarded to the engine's routing layer (array
+            kernel vs reference object loop; identical schedules).
     """
 
     def __init__(
@@ -117,12 +119,14 @@ class DynamicDriver:
         criterion: Union[str, CostCriterion] = "C4",
         weights: Union[float, EUWeights] = 2.0,
         use_tree_cache: bool = True,
+        use_compiled: bool = True,
     ) -> None:
         self._inner = make_heuristic(
             heuristic, criterion=criterion, weights=weights,
-            use_tree_cache=use_tree_cache,
+            use_tree_cache=use_tree_cache, use_compiled=use_compiled,
         )
         self._use_tree_cache = use_tree_cache
+        self._use_compiled = use_compiled
 
     def label(self) -> str:
         """Run label, e.g. ``"dynamic(partial/C4)"``."""
@@ -242,7 +246,11 @@ class DynamicDriver:
             return request.request_id in visible
 
         cache = TreeCache(
-            state, stats, enabled=self._use_tree_cache, not_before=now
+            state,
+            stats,
+            enabled=self._use_tree_cache,
+            not_before=now,
+            use_compiled=self._use_compiled,
         )
         before = stats.hops_booked
         self._inner.drain(state, cache, stats, request_filter=request_filter)

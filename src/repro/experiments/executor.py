@@ -86,7 +86,9 @@ logger = logging.getLogger(__name__)
 #: (``tree_cache_reasons``).
 #: Version 6: cached records may carry an embedded simulated-time
 #: ``timeline`` document.
-CACHE_FORMAT_VERSION = 6
+#: Version 7: embedded metrics may carry the compiled-kernel counter
+#: (``dijkstra_compiled``) and the ``bandwidth_degraded`` cache reason.
+CACHE_FORMAT_VERSION = 7
 
 #: The cell kinds an executor knows how to run.
 CELL_KINDS = ("pair", "tier")

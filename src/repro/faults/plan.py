@@ -228,6 +228,19 @@ class FaultPlan:
                 return degradation.factor
         return 1.0
 
+    def bandwidth_factors(self) -> Dict[int, float]:
+        """All sub-1.0 capacity multipliers, keyed by physical link id.
+
+        Construction drops factor-1.0 no-ops, so every entry is a real
+        degradation; :class:`~repro.core.state.NetworkState` seeds its
+        degradation table from this in one pass instead of probing
+        :meth:`bandwidth_factor` per virtual link.
+        """
+        return {
+            degradation.physical_id: degradation.factor
+            for degradation in self.degradations
+        }
+
     def label(self) -> str:
         """Short human-readable tag for reports and log lines."""
         if self.name:

@@ -51,6 +51,7 @@ from repro.observability.profiling import (
     span,
 )
 from repro.observability.tracer import (
+    TREE_CACHE_BANDWIDTH_DEGRADED,
     TREE_CACHE_CAPACITY_RELEASED,
     TREE_CACHE_CLEAN,
     TREE_CACHE_COLD,
@@ -125,6 +126,9 @@ class CacheEntry:
             successful revalidation.
         capacity_epoch: the state's capacity epoch at snapshot time
             (capacity-adding mutations invalidate globally).
+        degradation_epoch: the state's bandwidth-degradation epoch at
+            snapshot time (degradations change durations globally and are
+            not journalled, so they too invalidate globally).
         hop_intervals: planned transfer interval per footprint link id.
         residencies: planned storage residency per receiving machine.
         item_size: the routed item's size in bytes (for residency
@@ -136,6 +140,7 @@ class CacheEntry:
     item_revision: int
     journal_position: int
     capacity_epoch: int
+    degradation_epoch: int = 0
     hop_intervals: Dict[int, Interval] = field(default_factory=dict)
     residencies: Dict[int, Interval] = field(default_factory=dict)
     item_size: float = 0.0
@@ -170,6 +175,8 @@ class TreeCache:
         not_before: wall-clock lower bound forwarded to the routing layer;
             a cache instance is bound to one value (dynamic drivers create
             a fresh cache per re-scheduling pass).
+        use_compiled: forwarded to the routing layer — run the
+            array-backed kernel (default) or the reference object loop.
     """
 
     def __init__(
@@ -178,11 +185,13 @@ class TreeCache:
         stats: EngineStats,
         enabled: bool = True,
         not_before: float = 0.0,
+        use_compiled: bool = True,
     ) -> None:
         self._state = state
         self._stats = stats
         self._enabled = enabled
         self._not_before = not_before
+        self._use_compiled = use_compiled
         self._epoch = state.epoch
         self._trees: Dict[int, CacheEntry] = {}
 
@@ -248,7 +257,11 @@ class TreeCache:
                 )
             }
             tree = compute_shortest_path_tree(
-                self._state, item_id, targets, not_before=self._not_before
+                self._state,
+                item_id,
+                targets,
+                not_before=self._not_before,
+                use_compiled=self._use_compiled,
             )
             self._stats.dijkstra_runs += 1
             entry = self._snapshot(item_id, tree)
@@ -267,6 +280,10 @@ class TreeCache:
             return TREE_CACHE_ITEM_CHANGED
         if state.capacity_epoch != cached.capacity_epoch:
             return TREE_CACHE_CAPACITY_RELEASED
+        if state.degradation_epoch != cached.degradation_epoch:
+            # Degradations lengthen durations globally and are not
+            # journalled, so no footprint replay can vouch for the tree.
+            return TREE_CACHE_BANDWIDTH_DEGRADED
         journal_size = state.journal_length()
         if journal_size == cached.journal_position:
             return TREE_CACHE_CLEAN
@@ -331,6 +348,7 @@ class TreeCache:
             item_revision=state.item_revision(item_id),
             journal_position=state.journal_length(),
             capacity_epoch=state.capacity_epoch,
+            degradation_epoch=state.degradation_epoch,
             hop_intervals={
                 hop.link_id: Interval(hop.start, hop.end)
                 for hop in hops.values()
@@ -354,6 +372,9 @@ class StagingHeuristic(abc.ABC):
             criteria such as C3).
         use_tree_cache: disable to force a Dijkstra run per item per
             iteration, exactly as the paper describes (slower, same result).
+        use_compiled: disable to run the reference object-walking routing
+            kernel instead of the array-backed compiled one (slower, same
+            result — pinned by the compiled differential suite).
 
     Raises:
         ConfigurationError: when the criterion cannot drive this heuristic
@@ -371,6 +392,7 @@ class StagingHeuristic(abc.ABC):
         criterion: CostCriterion,
         weights: EUWeights,
         use_tree_cache: bool = True,
+        use_compiled: bool = True,
     ) -> None:
         if not criterion.supports_all_destinations and self._requires_group_cost():
             raise ConfigurationError(
@@ -380,6 +402,7 @@ class StagingHeuristic(abc.ABC):
         self._criterion = criterion
         self._weights = weights
         self._use_tree_cache = use_tree_cache
+        self._use_compiled = use_compiled
 
     @property
     def criterion(self) -> CostCriterion:
@@ -400,7 +423,12 @@ class StagingHeuristic(abc.ABC):
         started = time.perf_counter()
         stats = EngineStats()
         state = NetworkState(scenario, schedule_name=self.label())
-        cache = TreeCache(state, stats, enabled=self._use_tree_cache)
+        cache = TreeCache(
+            state,
+            stats,
+            enabled=self._use_tree_cache,
+            use_compiled=self._use_compiled,
+        )
         self.drain(state, cache, stats)
         stats.elapsed_seconds = time.perf_counter() - started
         tracer = state.tracer

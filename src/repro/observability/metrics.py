@@ -36,6 +36,7 @@ COUNTER_KEYS: Tuple[str, ...] = (
     "requests_reopened",
     "links_disabled",
     "dijkstra_searches",
+    "dijkstra_compiled",
     "edge_relaxations",
     "edges_pruned",
     "tree_cache_hits",
@@ -304,9 +305,12 @@ class MetricsCollector(Tracer):
         pruned: int,
         finalized: int,
         seeds: int,
+        compiled: bool = False,
     ) -> None:
         metrics = self._metrics
         metrics.bump("dijkstra_searches")
+        if compiled:
+            metrics.bump("dijkstra_compiled")
         metrics.bump("edge_relaxations", relaxations)
         metrics.bump("edges_pruned", pruned)
 

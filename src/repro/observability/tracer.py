@@ -102,6 +102,9 @@ TREE_CACHE_CUTOFF_TIGHTENED = "cutoff_tightened"
 #: Miss: a new storage reservation breaks a planned residency on a
 #: footprint machine.
 TREE_CACHE_RESIDENCY_CONFLICT = "residency_conflict"
+#: Miss: a bandwidth degradation changed transfer durations globally
+#: (degradation epoch moved — not journalled, not footprint-checkable).
+TREE_CACHE_BANDWIDTH_DEGRADED = "bandwidth_degraded"
 
 #: All event names a materializing tracer may emit — the registry the
 #: ``repro.staticcheck`` R3 rule checks string literals against.  One
@@ -159,6 +162,7 @@ TREE_CACHE_REASONS: Tuple[str, ...] = (
     TREE_CACHE_LINK_CONFLICT,
     TREE_CACHE_CUTOFF_TIGHTENED,
     TREE_CACHE_RESIDENCY_CONFLICT,
+    TREE_CACHE_BANDWIDTH_DEGRADED,
 )
 
 
@@ -220,8 +224,16 @@ class Tracer:
         pruned: int,
         finalized: int,
         seeds: int,
+        compiled: bool = False,
     ) -> None:
-        """One adapted-Dijkstra search finished (with search effort)."""
+        """One adapted-Dijkstra search finished (with search effort).
+
+        ``compiled`` reports which kernel ran: the array-backed
+        :mod:`repro.routing.compiled` path or the reference
+        object-walking loop.  The two are byte-identical in every other
+        observable, so this flag is the only way a trace reveals the
+        kernel choice.
+        """
 
     # -- engine -----------------------------------------------------------
 
@@ -461,6 +473,7 @@ class _EventTracer(Tracer):
         pruned: int,
         finalized: int,
         seeds: int,
+        compiled: bool = False,
     ) -> None:
         self._event(
             "dijkstra",
@@ -469,6 +482,7 @@ class _EventTracer(Tracer):
             pruned=pruned,
             finalized=finalized,
             seeds=seeds,
+            compiled=compiled,
         )
 
     def on_tree_cache(self, item_id: int, hit: bool, reason: str) -> None:
@@ -680,10 +694,10 @@ class TeeTracer(Tracer):
         """
         return any(child.enabled for child in self.children)
 
-    def _fan_out(self, method: str, *args: Any) -> None:
+    def _fan_out(self, method: str, *args: Any, **kwargs: Any) -> None:
         for child in self.children:
             if child.enabled:
-                getattr(child, method)(*args)
+                getattr(child, method)(*args, **kwargs)
 
     def on_transfer_attempt(self, *args: Any) -> None:
         self._fan_out("on_transfer_attempt", *args)
@@ -706,8 +720,8 @@ class TeeTracer(Tracer):
     def on_link_disabled(self, *args: Any) -> None:
         self._fan_out("on_link_disabled", *args)
 
-    def on_dijkstra(self, *args: Any) -> None:
-        self._fan_out("on_dijkstra", *args)
+    def on_dijkstra(self, *args: Any, **kwargs: Any) -> None:
+        self._fan_out("on_dijkstra", *args, **kwargs)
 
     def on_tree_cache(self, *args: Any) -> None:
         self._fan_out("on_tree_cache", *args)

@@ -1,0 +1,346 @@
+"""Array-compiled scenario kernel for the §4.2 shortest-path search.
+
+:func:`~repro.routing.dijkstra.compute_shortest_path_tree`'s reference
+inner loop walks :class:`~repro.core.link.VirtualLink` objects and reads
+their attributes Python-object by Python-object on every edge relaxation.
+This module compiles the scenario once into flat columns so the hot loop
+is a pure index-and-float affair:
+
+* :class:`CompiledScenario` — the virtual-link multigraph flattened into
+  CSR adjacency: a per-machine offset array plus parallel ``array('l')``
+  / ``array('d')`` columns (``link_id``, ``destination``, window start /
+  end, latency) in exactly the order
+  :meth:`~repro.core.network.Network.outgoing` yields edges, so the
+  compiled search relaxes edges — and therefore probes, books, and
+  tie-breaks — in the reference order.
+* per-item *duration tables* — ``size / effective_bandwidth + latency``
+  per edge, computed once per ``(item, degradation epoch)`` instead of
+  once per relaxation, and invalidated whenever
+  :attr:`~repro.core.state.NetworkState.degradation_epoch` moves.
+
+Both compilation steps are pure functions of their inputs
+(:func:`compile_network`, :func:`compile_durations`) and are registered
+as staticcheck R7 purity entry points; the memo layers
+(:func:`compiled_for`, :func:`durations_for`) live outside them and key
+on object identity via weak references, so a scenario or state being
+dropped releases its compiled columns with it.
+
+The kernel is **behaviorally invisible**: it performs the same float
+computations in the same order, calls
+:meth:`~repro.core.state.NetworkState.earliest_transfer` with identical
+arguments in an identical sequence, and reconstructs the result dicts in
+the reference insertion order, so schedules — and traces, down to
+individual rejection events — are byte-identical to the reference path.
+The only observable difference is the ``compiled`` flag on the
+``on_dijkstra`` tracer event.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from typing import Dict, List, Optional, Set, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.core.network import Network
+from repro.core.state import NetworkState
+from repro.routing.paths import ShortestPathTree, make_tree
+
+
+class CompiledScenario:
+    """CSR-flattened virtual-link adjacency of one :class:`Network`.
+
+    Edge ``e`` of machine ``m`` lives at index ``offsets[m] + e`` of each
+    parallel column; ``offsets[m + 1]`` bounds the slice.  The edge order
+    within a machine equals :meth:`Network.outgoing` order (``link_id``
+    ascending), which the reference search iterates — identical order is
+    what makes the compiled search tie-break identically.
+
+    Attributes:
+        machine_count: number of machines (``len(offsets) - 1``).
+        offsets: CSR row offsets, one per machine plus a terminator.
+        link_ids: virtual-link id per edge.
+        destinations: receiving machine per edge.
+        window_starts: window start (``Lst``) per edge.
+        window_ends: window end (``Let``) per edge.
+        latencies: link latency per edge.
+    """
+
+    __slots__ = (
+        "machine_count",
+        "offsets",
+        "link_ids",
+        "destinations",
+        "window_starts",
+        "window_ends",
+        "latencies",
+    )
+
+    def __init__(
+        self,
+        machine_count: int,
+        offsets: "array[int]",
+        link_ids: "array[int]",
+        destinations: "array[int]",
+        window_starts: "array[float]",
+        window_ends: "array[float]",
+        latencies: "array[float]",
+    ) -> None:
+        self.machine_count = machine_count
+        self.offsets = offsets
+        self.link_ids = link_ids
+        self.destinations = destinations
+        self.window_starts = window_starts
+        self.window_ends = window_ends
+        self.latencies = latencies
+
+    @property
+    def edge_count(self) -> int:
+        """Total number of compiled edges (= virtual links)."""
+        return len(self.link_ids)
+
+
+def compile_network(network: Network) -> CompiledScenario:
+    """Flatten a network's virtual-link multigraph into CSR columns.
+
+    A pure function of the (immutable) network — called once per network
+    by :func:`compiled_for` and memoized there.
+    """
+    offsets = array("l", [0])
+    link_ids = array("l")
+    destinations = array("l")
+    window_starts = array("d")
+    window_ends = array("d")
+    latencies = array("d")
+    for machine in range(network.machine_count):
+        for link in network.outgoing(machine):
+            link_ids.append(link.link_id)
+            destinations.append(link.destination)
+            window_starts.append(link.start)
+            window_ends.append(link.end)
+            latencies.append(link.latency)
+        offsets.append(len(link_ids))
+    return CompiledScenario(
+        machine_count=network.machine_count,
+        offsets=offsets,
+        link_ids=link_ids,
+        destinations=destinations,
+        window_starts=window_starts,
+        window_ends=window_ends,
+        latencies=latencies,
+    )
+
+
+def compile_durations(
+    item_size: float,
+    compiled: CompiledScenario,
+    bandwidths: List[float],
+) -> "array[float]":
+    """Per-edge transfer durations for one item at given bandwidths.
+
+    Exactly the reference relaxation expression
+    ``item_size / bandwidth[link_id] + latency`` evaluated per edge; a
+    pure function of its arguments, memoized per ``(state, item,
+    degradation epoch)`` by :func:`durations_for`.
+    """
+    link_ids = compiled.link_ids
+    latencies = compiled.latencies
+    return array(
+        "d",
+        [
+            item_size / bandwidths[link_ids[edge]] + latencies[edge]
+            for edge in range(len(link_ids))
+        ],
+    )
+
+
+#: Per-network compiled CSR columns.  Weakly keyed: dropping the scenario
+#: releases the compiled form.
+_NETWORK_MEMO: "WeakKeyDictionary[Network, CompiledScenario]" = (
+    WeakKeyDictionary()
+)
+
+
+class _DurationTables:
+    """Per-state duration tables, valid for one degradation epoch."""
+
+    __slots__ = ("epoch", "tables")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.tables: Dict[int, "array[float]"] = {}
+
+
+#: Per-state duration tables.  Weakly keyed on the state; epoch-checked
+#: on every read, so a bandwidth degradation invalidates the whole table
+#: in one comparison.
+_DURATION_MEMO: "WeakKeyDictionary[NetworkState, _DurationTables]" = (
+    WeakKeyDictionary()
+)
+
+
+def compiled_for(network: Network) -> CompiledScenario:
+    """The network's compiled form, built on first use and memoized."""
+    compiled = _NETWORK_MEMO.get(network)
+    if compiled is None:
+        compiled = compile_network(network)
+        _NETWORK_MEMO[network] = compiled
+    return compiled
+
+
+def durations_for(
+    state: NetworkState, item_id: int, compiled: CompiledScenario
+) -> "array[float]":
+    """The item's per-edge duration table against the state's bandwidths.
+
+    Valid for the state's current
+    :attr:`~repro.core.state.NetworkState.degradation_epoch`; a moved
+    epoch drops every table (durations are global functions of the
+    bandwidth list, so partial invalidation is impossible).
+    """
+    epoch = state.degradation_epoch
+    memo = _DURATION_MEMO.get(state)
+    if memo is None or memo.epoch != epoch:
+        memo = _DurationTables(epoch)
+        _DURATION_MEMO[state] = memo
+    table = memo.tables.get(item_id)
+    if table is None:
+        table = compile_durations(
+            state.scenario.item(item_id).size,
+            compiled,
+            state.effective_bandwidths(),
+        )
+        memo.tables[item_id] = table
+    return table
+
+
+def compute_tree_compiled(
+    state: NetworkState,
+    item_id: int,
+    targets: Optional[Set[int]],
+    not_before: float,
+) -> ShortestPathTree:
+    """Array-backed replica of the reference ``_compute_tree`` kernel.
+
+    Labels live in a dense list indexed by machine id with a parallel
+    ``discovered`` byte per machine (instead of ``dict.get`` probes —
+    and instead of sentinel-float comparisons, which would reintroduce
+    the exact-equality hazards rule R2 exists to catch); finalization is
+    a byte array plus a counter.  Everything observable — seed order,
+    heap contents, per-edge probe order, tracer events, result dict
+    insertion order — replicates the reference path exactly.
+    """
+    network = state.scenario.network
+    compiled = compiled_for(network)
+    seeds: Dict[int, float] = {
+        machine: max(record.available_from, not_before)
+        for machine, record in state.copies(item_id).items()
+        if record.release > not_before
+    }
+    machine_count = compiled.machine_count
+    labels_list = [0.0] * machine_count
+    discovered = bytearray(machine_count)
+    finalized = bytearray(machine_count)
+    finalized_count = 0
+    #: Non-seed machines in first-discovery order, for rebuilding the
+    #: labels dict with the reference insertion order.
+    order: List[int] = []
+    for machine, available in seeds.items():
+        labels_list[machine] = available
+        discovered[machine] = 1
+    parents: Dict[int, Tuple[int, int, float, float]] = {}
+    pending_targets = set(targets) if targets is not None else None
+    tracer = state.tracer
+    tracing = tracer.enabled
+    relaxations = 0
+    pruned = 0
+    durations = durations_for(state, item_id, compiled)
+    links = network.virtual_links
+    offsets = compiled.offsets
+    link_ids = compiled.link_ids
+    destinations = compiled.destinations
+    window_starts = compiled.window_starts
+    earliest_transfer = state.earliest_transfer
+
+    heap = [(available, machine) for machine, available in seeds.items()]
+    heapq.heapify(heap)
+    infinity = float("inf")
+
+    while heap:
+        label, machine = heapq.heappop(heap)
+        if finalized[machine]:
+            continue
+        if label > (
+            labels_list[machine] if discovered[machine] else infinity
+        ):
+            continue
+        finalized[machine] = 1
+        finalized_count += 1
+        if pending_targets is not None:
+            pending_targets.discard(machine)
+            if not pending_targets:
+                break
+        for edge in range(offsets[machine], offsets[machine + 1]):
+            receiver = destinations[edge]
+            if finalized[receiver]:
+                continue
+            receiver_label = (
+                labels_list[receiver] if discovered[receiver] else infinity
+            )
+            duration = durations[edge]
+            window_start = window_starts[edge]
+            start_floor = window_start if window_start > label else label
+            if start_floor + duration >= receiver_label:
+                if tracing:
+                    pruned += 1
+                continue
+            if tracing:
+                relaxations += 1
+            plan = earliest_transfer(
+                item_id, links[link_ids[edge]], label, duration
+            )
+            if plan is None:
+                continue
+            plan_end = plan.end
+            if plan_end < receiver_label:
+                labels_list[receiver] = plan_end
+                if not discovered[receiver]:
+                    discovered[receiver] = 1
+                    order.append(receiver)
+                parents[receiver] = (
+                    machine,
+                    link_ids[edge],
+                    plan.start,
+                    plan_end,
+                )
+                heapq.heappush(heap, (plan_end, receiver))
+
+    # Rebuild the labels dict in the reference insertion order — seeds
+    # first, then non-seeds by first discovery — dropping unfinalized
+    # machines when an early exit fired (their values may not be exact).
+    early_exit = pending_targets is not None
+    labels: Dict[int, float] = {}
+    for machine in seeds:
+        if not early_exit or finalized[machine]:
+            labels[machine] = labels_list[machine]
+    for machine in order:
+        if not early_exit or finalized[machine]:
+            labels[machine] = labels_list[machine]
+    if early_exit:
+        parents = {
+            machine: parent
+            for machine, parent in parents.items()
+            if finalized[machine]
+        }
+    if tracing:
+        tracer.on_dijkstra(
+            item_id,
+            relaxations,
+            pruned,
+            finalized_count,
+            len(seeds),
+            compiled=True,
+        )
+    return make_tree(
+        item_id=item_id, seeds=seeds, labels=labels, parents=parents
+    )

@@ -1,0 +1,232 @@
+"""Unit tests for the array-compiled routing kernel.
+
+The differential suite (``tests/experiments/test_compiled_differential``)
+pins whole-schedule equivalence; these tests pin the compiled artifacts
+themselves — CSR layout, memo identity, duration-table values, and
+epoch-keyed invalidation — so a regression is reported at the layer that
+broke rather than as a distant schedule mismatch.
+"""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.state import NetworkState
+from repro.errors import SchedulingError
+from repro.routing.compiled import (
+    compile_durations,
+    compile_network,
+    compiled_for,
+    compute_tree_compiled,
+    durations_for,
+)
+from repro.routing.dijkstra import _compute_tree, compute_shortest_path_tree
+
+from tests.helpers import (
+    line_network,
+    make_item,
+    make_link,
+    make_network,
+    make_scenario,
+)
+
+
+def _windowed_network():
+    """Two machines, a multigraph: parallel links and split windows."""
+    return make_network(
+        3,
+        [
+            make_link(0, 0, 1, bandwidth=100.0, latency=0.5),
+            make_link(
+                1, 0, 1, bandwidth=2000.0,
+                windows=(Interval(0.0, 10.0), Interval(20.0, 50.0)),
+            ),
+            make_link(2, 1, 2, bandwidth=500.0),
+            make_link(3, 2, 0, bandwidth=500.0),
+        ],
+    )
+
+
+class TestCompileNetwork:
+    def test_csr_mirrors_outgoing_order(self):
+        network = _windowed_network()
+        compiled = compile_network(network)
+        assert compiled.machine_count == network.machine_count
+        assert len(compiled.offsets) == network.machine_count + 1
+        assert compiled.offsets[0] == 0
+        assert compiled.edge_count == len(network.virtual_links)
+        for machine in range(network.machine_count):
+            lo = compiled.offsets[machine]
+            hi = compiled.offsets[machine + 1]
+            reference = network.outgoing(machine)
+            assert hi - lo == len(reference)
+            for slot, link in enumerate(reference):
+                edge = lo + slot
+                assert compiled.link_ids[edge] == link.link_id
+                assert compiled.destinations[edge] == link.destination
+                assert compiled.window_starts[edge] == link.start
+                assert compiled.window_ends[edge] == link.end
+                assert compiled.latencies[edge] == link.latency
+
+    def test_compiled_for_memoizes_per_network(self):
+        first = _windowed_network()
+        second = _windowed_network()
+        assert compiled_for(first) is compiled_for(first)
+        assert compiled_for(first) is not compiled_for(second)
+
+
+class TestDurationTables:
+    def test_values_match_reference_expression(self):
+        network = _windowed_network()
+        compiled = compile_network(network)
+        bandwidths = [link.bandwidth for link in network.virtual_links]
+        table = compile_durations(1000.0, compiled, bandwidths)
+        for edge in range(compiled.edge_count):
+            link = network.virtual_links[compiled.link_ids[edge]]
+            assert table[edge] == 1000.0 / link.bandwidth + link.latency
+
+    def test_memoized_per_item_until_degradation(self):
+        scenario = make_scenario(
+            _windowed_network(),
+            [make_item(0, 1000.0, [(0, 0.0)])],
+            [(0, 2, 2, 100.0)],
+        )
+        state = NetworkState(scenario)
+        compiled = compiled_for(scenario.network)
+        table = durations_for(state, 0, compiled)
+        assert durations_for(state, 0, compiled) is table
+
+        state.degrade_physical_link(0, 0.5)
+        refreshed = durations_for(state, 0, compiled)
+        assert refreshed is not table
+        # Only the degraded physical link's edges lengthen.
+        for edge in range(compiled.edge_count):
+            link = scenario.network.virtual_links[compiled.link_ids[edge]]
+            if link.physical_id == 0:
+                assert refreshed[edge] > table[edge]
+            else:
+                assert refreshed[edge] == table[edge]
+
+    def test_tables_are_per_state(self):
+        scenario = make_scenario(
+            line_network(3),
+            [make_item(0, 1000.0, [(0, 0.0)])],
+            [(0, 2, 2, 100.0)],
+        )
+        compiled = compiled_for(scenario.network)
+        one = NetworkState(scenario)
+        two = NetworkState(scenario)
+        # Distinct states memoize independently (a degradation on one must
+        # never leak into the other), even over the same network.
+        assert durations_for(one, 0, compiled) is not durations_for(
+            two, 0, compiled
+        )
+
+
+class TestKernelEquivalence:
+    """Tree-level equality against the reference loop on hand networks."""
+
+    def _scenarios(self):
+        yield make_scenario(
+            line_network(4),
+            [make_item(0, 1000.0, [(0, 0.0), (2, 5.0)])],
+            [(0, 3, 2, 100.0)],
+        )
+        yield make_scenario(
+            _windowed_network(),
+            [make_item(0, 4000.0, [(0, 1.0)])],
+            [(0, 2, 2, 200.0)],
+        )
+
+    @staticmethod
+    def _assert_trees_equal(compiled_tree, reference_tree):
+        # White-box on purpose: byte-identity includes the dicts'
+        # insertion order, which no public accessor exposes.
+        assert compiled_tree.item_id == reference_tree.item_id
+        assert compiled_tree._seeds == reference_tree._seeds
+        assert compiled_tree._labels == reference_tree._labels
+        assert compiled_tree._parents == reference_tree._parents
+        assert list(compiled_tree._labels) == list(reference_tree._labels)
+        assert list(compiled_tree._parents) == list(
+            reference_tree._parents
+        )
+
+    def test_full_search(self):
+        for scenario in self._scenarios():
+            self._assert_trees_equal(
+                compute_tree_compiled(NetworkState(scenario), 0, None, 0.0),
+                _compute_tree(NetworkState(scenario), 0, None, 0.0),
+            )
+
+    def test_targeted_early_exit(self):
+        for scenario in self._scenarios():
+            for targets in ({1}, {2}, {1, 2}):
+                self._assert_trees_equal(
+                    compute_tree_compiled(
+                        NetworkState(scenario), 0, set(targets), 0.0
+                    ),
+                    _compute_tree(
+                        NetworkState(scenario), 0, set(targets), 0.0
+                    ),
+                )
+
+    def test_not_before(self):
+        for scenario in self._scenarios():
+            for now in (0.5, 3.0, 30.0):
+                self._assert_trees_equal(
+                    compute_tree_compiled(
+                        NetworkState(scenario), 0, None, now
+                    ),
+                    _compute_tree(NetworkState(scenario), 0, None, now),
+                )
+
+    def test_degraded_state(self):
+        scenario = next(iter(self._scenarios()))
+        compiled_state = NetworkState(scenario)
+        reference_state = NetworkState(scenario)
+        for state in (compiled_state, reference_state):
+            state.degrade_physical_link(1, 0.25)
+        self._assert_trees_equal(
+            compute_tree_compiled(compiled_state, 0, None, 0.0),
+            _compute_tree(reference_state, 0, None, 0.0),
+        )
+
+    def test_escape_hatch_selects_kernel(self):
+        scenario = next(iter(self._scenarios()))
+        compiled_tree = compute_shortest_path_tree(
+            NetworkState(scenario), 0, use_compiled=True
+        )
+        reference_tree = compute_shortest_path_tree(
+            NetworkState(scenario), 0, use_compiled=False
+        )
+        self._assert_trees_equal(compiled_tree, reference_tree)
+
+
+class TestDegradeValidation:
+    def _state(self):
+        scenario = make_scenario(
+            line_network(3),
+            [make_item(0, 1000.0, [(0, 0.0)])],
+            [(0, 2, 2, 100.0)],
+        )
+        return NetworkState(scenario)
+
+    def test_rejects_out_of_range_factor(self):
+        state = self._state()
+        with pytest.raises(ValueError):
+            state.degrade_physical_link(0, 0.0)
+        with pytest.raises(ValueError):
+            state.degrade_physical_link(0, 1.5)
+
+    def test_rejects_unknown_link(self):
+        with pytest.raises(SchedulingError):
+            self._state().degrade_physical_link(99, 0.5)
+
+    def test_rejects_loosening(self):
+        state = self._state()
+        state.degrade_physical_link(0, 0.5)
+        with pytest.raises(SchedulingError):
+            state.degrade_physical_link(0, 0.75)
+        # Tightening further is allowed and bumps the epoch again.
+        before = state.degradation_epoch
+        state.degrade_physical_link(0, 0.25)
+        assert state.degradation_epoch == before + 1
